@@ -1,0 +1,47 @@
+"""Benchmark-suite fixtures and result printing.
+
+Every benchmark regenerates one table or figure of the paper through the
+experiment registry.  Running ``pytest benchmarks/ --benchmark-only`` prints
+each regenerated table/figure so the output file doubles as the
+reproduction record referenced by EXPERIMENTS.md.
+
+Profiles: the ``REPRO_PROFILE`` environment variable selects ``fast``
+(default, laptop-scale) or ``paper`` (paper-scale workloads and 1000-tree
+MART models).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import get_config
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    """The experiment configuration shared by every benchmark."""
+    return get_config()
+
+
+@pytest.fixture(scope="session")
+def printer():
+    """Print a result object and persist it under ``benchmarks/results/``.
+
+    pytest captures stdout for passing tests, so the rendered tables are also
+    written to one text file per experiment; those files are the artefacts
+    EXPERIMENTS.md refers to.
+    """
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+
+    def _print(result) -> None:
+        text = result.render()
+        print("\n" + "=" * 78)
+        print(text)
+        print("=" * 78)
+        name = result.experiment_id.lower().replace(" ", "_")
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _print

@@ -1,0 +1,101 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These go beyond the paper's tables: they isolate individual ingredients of
+the SCALING technique (dependent-feature normalisation, the out_ratio model
+selection heuristic, MART capacity) on the data-size generalisation setting,
+which is where those ingredients matter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import ScalingTechnique
+from repro.core.trainer import TrainerConfig
+from repro.experiments import config as cfg
+from repro.features.definitions import FeatureMode
+from repro.ml.mart import MARTConfig
+from repro.ml.metrics import ErrorSummary
+
+
+def _small_large(experiment_config):
+    return cfg.tpch_small_large(experiment_config)
+
+
+def _evaluate(technique, test_queries, resource="cpu"):
+    estimates = technique.predict_queries(test_queries)
+    actuals = np.array([q.actual(resource) for q in test_queries])
+    return ErrorSummary.from_predictions(estimates, actuals)
+
+
+def test_ablation_pair_scaling(benchmark, experiment_config, printer):
+    """Scaling by up to two features vs single-feature scaling only."""
+    small, large = _small_large(experiment_config)
+
+    def run():
+        with_pairs = ScalingTechnique(
+            trainer_config=TrainerConfig(mart=experiment_config.mart, max_pair_models=3)
+        ).fit(small, "cpu", FeatureMode.EXACT)
+        without_pairs = ScalingTechnique(
+            trainer_config=TrainerConfig(mart=experiment_config.mart, enable_pair_scaling=False)
+        ).fit(small, "cpu", FeatureMode.EXACT)
+        return _evaluate(with_pairs, large), _evaluate(without_pairs, large)
+
+    with_pairs, without_pairs = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\nAblation (pair scaling):   with pairs    {with_pairs}")
+    print(f"Ablation (pair scaling):   single only   {without_pairs}")
+    # Pair scaling should never be catastrophically worse than single-feature
+    # scaling; both must handle the data-size shift.
+    assert with_pairs.l1_error <= without_pairs.l1_error * 3.0 + 0.5
+    assert with_pairs.ratio_le_15 >= 0.3
+
+
+def test_ablation_mart_capacity(benchmark, experiment_config, printer):
+    """Boosting-iteration budget: a handful of trees is not enough."""
+    small, large = _small_large(experiment_config)
+
+    def run():
+        tiny = ScalingTechnique(
+            trainer_config=TrainerConfig(
+                mart=MARTConfig(n_iterations=5, max_leaves=experiment_config.mart.max_leaves)
+            )
+        ).fit(small, "cpu", FeatureMode.EXACT)
+        full = ScalingTechnique(trainer_config=TrainerConfig(mart=experiment_config.mart)).fit(
+            small, "cpu", FeatureMode.EXACT
+        )
+        return _evaluate(tiny, large), _evaluate(full, large)
+
+    tiny, full = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\nAblation (capacity): 5 iterations   {tiny}")
+    print(f"Ablation (capacity): full budget    {full}")
+    assert full.l1_error <= tiny.l1_error * 1.2
+
+
+def test_ablation_feature_mode(benchmark, experiment_config, printer):
+    """Exact vs optimizer-estimated features for the same technique.
+
+    Mirrors the Table 4 vs Table 7 comparison: estimated features can only
+    degrade accuracy, since they add cardinality-estimation error on top of
+    the modelling error.
+    """
+    from repro.workloads.datasets import split_workload
+
+    workload = cfg.tpch_workload(experiment_config)
+    train, test = split_workload(workload, experiment_config.train_fraction,
+                                 seed=experiment_config.seed)
+
+    def run():
+        exact = ScalingTechnique(trainer_config=TrainerConfig(mart=experiment_config.mart)).fit(
+            train, "cpu", FeatureMode.EXACT
+        )
+        estimated = ScalingTechnique(
+            trainer_config=TrainerConfig(mart=experiment_config.mart)
+        ).fit(train, "cpu", FeatureMode.ESTIMATED)
+        return _evaluate(exact, test), _evaluate(estimated, test)
+
+    exact, estimated = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\nAblation (feature mode): exact      {exact}")
+    print(f"Ablation (feature mode): estimated  {estimated}")
+    # Exact features should be at least as good as estimated ones on the
+    # fraction of well-estimated queries.
+    assert exact.ratio_le_15 >= estimated.ratio_le_15 - 0.1

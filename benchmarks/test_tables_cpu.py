@@ -1,0 +1,100 @@
+"""Benchmarks regenerating the CPU-estimation tables (paper Tables 4-9).
+
+The assertions check the paper's *qualitative* claims (who wins, who
+collapses), not absolute numbers — the substrate here is a simulator, not
+the paper's SQL Server testbed.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import run_experiment
+
+
+def _rows_by_technique(table, test_set=None):
+    rows = {}
+    for row in table.rows:
+        if test_set is not None and row["Test Set"] != test_set:
+            continue
+        rows.setdefault(row["Technique"], row)
+    return rows
+
+
+def test_table04_tpch_exact_features(benchmark, experiment_config, printer):
+    """Table 4: CPU, exact features, train/test on TPC-H."""
+    table = benchmark.pedantic(
+        run_experiment, args=("table_4", experiment_config), iterations=1, rounds=1
+    )
+    printer(table)
+    rows = _rows_by_technique(table)
+    assert set(rows) >= {"[8]", "LINEAR", "MART", "REGTREE", "SCALING"}
+    # SCALING is the most accurate (or statistically tied) technique in-distribution.
+    best_l1 = min(row["L1"] for row in rows.values())
+    assert rows["SCALING"]["L1"] <= best_l1 * 2.0
+    assert rows["SCALING"]["R<=1.5"] >= 60.0
+
+
+def test_table05_data_size_generalisation_exact(benchmark, experiment_config, printer):
+    """Table 5: CPU, exact features, train small data / test large and vice versa."""
+    table = benchmark.pedantic(
+        run_experiment, args=("table_5", experiment_config), iterations=1, rounds=1
+    )
+    printer(table)
+    for test_set in ("Large", "Small"):
+        rows = _rows_by_technique(table, test_set)
+        # SCALING stays robust; plain MART degrades notably when the data
+        # sizes differ between training and test.
+        assert rows["SCALING"]["L1"] <= rows["MART"]["L1"]
+        assert rows["SCALING"]["R<=1.5"] >= rows["MART"]["R<=1.5"] - 5.0
+
+
+def test_table06_cross_workload_exact(benchmark, experiment_config, printer):
+    """Table 6: CPU, exact features, train on TPC-H / test on TPC-DS, Real-1, Real-2."""
+    table = benchmark.pedantic(
+        run_experiment, args=("table_6", experiment_config), iterations=1, rounds=1
+    )
+    printer(table)
+    for test_set in ("TPC-DS", "Real-1", "Real-2"):
+        rows = _rows_by_technique(table, test_set)
+        # The generalisation experiments are where scaling matters most:
+        # SCALING must be at least as accurate as plain MART (small tolerance
+        # for sampling noise on the L1 metric) and keep far fewer queries
+        # beyond a 2x ratio error.
+        assert rows["SCALING"]["L1"] <= rows["MART"]["L1"] * 1.25 + 0.05
+        assert rows["SCALING"]["R>2"] <= rows["MART"]["R>2"] + 10.0
+
+
+def test_table07_tpch_estimated_features(benchmark, experiment_config, printer):
+    """Table 7: CPU, optimizer-estimated features, train/test on TPC-H (includes OPT)."""
+    table = benchmark.pedantic(
+        run_experiment, args=("table_7", experiment_config), iterations=1, rounds=1
+    )
+    printer(table)
+    rows = _rows_by_technique(table)
+    assert "OPT" in rows
+    # Learned techniques compensate for cardinality errors better than the
+    # adjusted optimizer cost model.
+    assert rows["SCALING"]["R<=1.5"] >= rows["OPT"]["R<=1.5"]
+
+
+def test_table08_data_size_generalisation_estimated(benchmark, experiment_config, printer):
+    """Table 8: CPU, optimizer-estimated features, small/large data-size split."""
+    table = benchmark.pedantic(
+        run_experiment, args=("table_8", experiment_config), iterations=1, rounds=1
+    )
+    printer(table)
+    for test_set in ("Large", "Small"):
+        rows = _rows_by_technique(table, test_set)
+        assert rows["SCALING"]["L1"] <= rows["MART"]["L1"] * 1.5
+        assert rows["SCALING"]["R<=1.5"] >= rows["OPT"]["R<=1.5"] - 5.0
+
+
+def test_table09_cross_workload_estimated(benchmark, experiment_config, printer):
+    """Table 9: CPU, optimizer-estimated features, cross-workload generalisation."""
+    table = benchmark.pedantic(
+        run_experiment, args=("table_9", experiment_config), iterations=1, rounds=1
+    )
+    printer(table)
+    for test_set in ("TPC-DS", "Real-1", "Real-2"):
+        rows = _rows_by_technique(table, test_set)
+        assert rows["SCALING"]["L1"] <= rows["MART"]["L1"] * 1.25 + 0.05
+        assert rows["SCALING"]["R<=1.5"] >= rows["MART"]["R<=1.5"] - 5.0

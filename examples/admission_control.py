@@ -1,0 +1,68 @@
+"""Admission control: gate incoming queries on their estimated resource needs.
+
+The paper motivates resource estimation with admission control: when a query
+arrives, the system must decide whether to run it now, queue it, or reject
+it, based on how much CPU and I/O it is expected to consume.  This example
+builds a small admission controller on top of the trained estimator and
+compares its decisions against an oracle that knows the true costs.
+
+Run with ``python examples/admission_control.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import FeatureMode, ScalingTechnique, build_tpch_workload, split_workload
+
+
+@dataclass
+class AdmissionPolicy:
+    """Admit, queue or reject queries based on estimated CPU seconds."""
+
+    admit_below_cpu_s: float
+    reject_above_cpu_s: float
+
+    def decide(self, estimated_cpu_us: float) -> str:
+        cpu_s = estimated_cpu_us / 1e6
+        if cpu_s <= self.admit_below_cpu_s:
+            return "admit"
+        if cpu_s >= self.reject_above_cpu_s:
+            return "reject"
+        return "queue"
+
+
+def main() -> None:
+    print("Building workload and training the estimator...")
+    workload = build_tpch_workload(scale_factor=0.2, skew_z=1.5, n_queries=108, seed=5)
+    train, incoming = split_workload(workload, train_fraction=0.7, seed=5)
+    model = ScalingTechnique().fit(train, resource="cpu", mode=FeatureMode.EXACT)
+
+    # Thresholds chosen from the training distribution: admit anything below
+    # the median training cost, reject anything above the 90th percentile.
+    train_costs = sorted(q.total_cpu_us / 1e6 for q in train)
+    policy = AdmissionPolicy(
+        admit_below_cpu_s=train_costs[len(train_costs) // 2],
+        reject_above_cpu_s=train_costs[int(len(train_costs) * 0.9)],
+    )
+    print(f"Policy: admit < {policy.admit_below_cpu_s:.2f}s, "
+          f"reject > {policy.reject_above_cpu_s:.2f}s of estimated CPU time\n")
+
+    agreement = 0
+    print(f"{'query':<22s} {'estimate (s)':>13s} {'actual (s)':>12s} {'decision':>10s} {'oracle':>10s}")
+    for query in incoming:
+        estimate = model.predict_query(query)
+        decision = policy.decide(estimate)
+        oracle = policy.decide(query.total_cpu_us)
+        agreement += decision == oracle
+        print(
+            f"{query.query.name:<22s} {estimate / 1e6:>13.2f} {query.total_cpu_us / 1e6:>12.2f} "
+            f"{decision:>10s} {oracle:>10s}"
+        )
+
+    rate = 100.0 * agreement / len(incoming)
+    print(f"\nDecisions matching the true-cost oracle: {agreement}/{len(incoming)} ({rate:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

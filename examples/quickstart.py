@@ -1,0 +1,64 @@
+"""Quickstart: train a resource estimator on a TPC-H workload and use it.
+
+The script walks the full pipeline of the paper:
+
+1. build a (skewed) TPC-H catalog and generate a query workload;
+2. plan and "execute" the queries on the simulated engine, observing actual
+   CPU time and logical I/O per operator;
+3. train the SCALING technique (MART + scaling functions) on 80% of the
+   queries;
+4. estimate CPU time and logical I/O for the held-out queries and report the
+   paper's error metrics.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FeatureMode, ScalingTechnique, build_tpch_workload, split_workload
+from repro.ml.metrics import ErrorSummary
+
+
+def main() -> None:
+    print("Building a skewed TPC-H workload (scale factor 0.2, Zipf z=1.5)...")
+    workload = build_tpch_workload(scale_factor=0.2, skew_z=1.5, n_queries=108, seed=1)
+    print(f"  {len(workload)} queries, {len(workload.operators())} operator observations")
+
+    train, test = split_workload(workload, train_fraction=0.8, seed=1)
+    print(f"  {len(train)} training queries, {len(test)} test queries")
+
+    print("Training the SCALING estimator (MART + scaling functions)...")
+    cpu_model = ScalingTechnique().fit(train, resource="cpu", mode=FeatureMode.EXACT)
+    io_model = ScalingTechnique().fit(train, resource="io", mode=FeatureMode.EXACT)
+
+    print("\nPer-query estimates on the held-out test set:")
+    print(f"{'query':<22s} {'est CPU (ms)':>14s} {'actual CPU (ms)':>16s} "
+          f"{'est I/O':>12s} {'actual I/O':>12s}")
+    for query in test[:10]:
+        est_cpu = cpu_model.predict_query(query) / 1e3
+        est_io = io_model.predict_query(query)
+        print(
+            f"{query.query.name:<22s} {est_cpu:>14.1f} {query.total_cpu_us / 1e3:>16.1f} "
+            f"{est_io:>12.0f} {query.total_logical_io:>12.0f}"
+        )
+
+    cpu_estimates = cpu_model.predict_queries(test)
+    cpu_actuals = np.array([q.total_cpu_us for q in test])
+    io_estimates = io_model.predict_queries(test)
+    io_actuals = np.array([q.total_logical_io for q in test])
+    print("\nAccuracy over the whole test set (paper metrics):")
+    print(f"  CPU time   : {ErrorSummary.from_predictions(cpu_estimates, cpu_actuals)}")
+    print(f"  logical I/O: {ErrorSummary.from_predictions(io_estimates, io_actuals)}")
+
+    # Pipeline-level estimates (the granularity used for scheduling).
+    sample = test[0]
+    pipelines = cpu_model.estimator.estimate_pipelines(sample.plan, "cpu")
+    print(f"\nPipeline-level CPU estimates for {sample.query.name}:")
+    for index, value in sorted(pipelines.items()):
+        print(f"  pipeline {index}: {value / 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

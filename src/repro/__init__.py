@@ -1,0 +1,107 @@
+"""repro: robust estimation of resource consumption for SQL queries.
+
+A reproduction of Li, König, Narasayya and Chaudhuri, *"Robust Estimation of
+Resource Consumption for SQL Queries using Statistical Techniques"*
+(PVLDB 5(11), 2012), together with every substrate the paper depends on:
+a simulated database engine (catalog, planner, cardinality estimation,
+execution with ground-truth resource usage), the statistical learners
+(MART, linear/kernel regression, transform regression) implemented from
+scratch, the paper's operator-level feature model, the scaling-function
+framework, the competing baselines and the full experiment harness.
+
+Quickstart
+----------
+>>> from repro import build_tpch_workload, split_workload, ScalingTechnique, FeatureMode
+>>> workload = build_tpch_workload(scale_factor=0.1, n_queries=60)
+>>> train, test = split_workload(workload)
+>>> model = ScalingTechnique().fit(train, resource="cpu", mode=FeatureMode.EXACT)
+>>> estimate_us = model.predict_query(test[0])
+"""
+
+from repro.baselines import (
+    AkdereOperatorBaseline,
+    LinearBaseline,
+    MARTBaseline,
+    OptimizerBaseline,
+    RegTreeBaseline,
+    ScalingTechnique,
+    SVMBaseline,
+    standard_techniques,
+)
+from repro.catalog import (
+    Catalog,
+    Column,
+    ColumnType,
+    Index,
+    Table,
+    build_real1_catalog,
+    build_real2_catalog,
+    build_tpcds_catalog,
+    build_tpch_catalog,
+)
+from repro.core import ResourceEstimator, ScalingFunctionSelector
+from repro.engine import HardwareProfile, QueryExecutor, ResourceModel
+from repro.features import FeatureExtractor, FeatureMode, OperatorFamily
+from repro.ml import ErrorSummary, MARTRegressor
+from repro.optimizer import Planner
+from repro.plan import OperatorType, PlanOperator, QueryPlan
+from repro.workloads import (
+    WorkloadRunner,
+    build_real1_workload,
+    build_real2_workload,
+    build_tpcds_workload,
+    build_tpch_multi_scale_workload,
+    build_tpch_workload,
+    build_training_data,
+    split_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # techniques
+    "AkdereOperatorBaseline",
+    "LinearBaseline",
+    "MARTBaseline",
+    "OptimizerBaseline",
+    "RegTreeBaseline",
+    "ScalingTechnique",
+    "SVMBaseline",
+    "standard_techniques",
+    "ResourceEstimator",
+    "ScalingFunctionSelector",
+    # catalog / schema
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "Index",
+    "Table",
+    "build_tpch_catalog",
+    "build_tpcds_catalog",
+    "build_real1_catalog",
+    "build_real2_catalog",
+    # engine / optimizer / plans
+    "HardwareProfile",
+    "QueryExecutor",
+    "ResourceModel",
+    "Planner",
+    "OperatorType",
+    "PlanOperator",
+    "QueryPlan",
+    # features / ml
+    "FeatureExtractor",
+    "FeatureMode",
+    "OperatorFamily",
+    "ErrorSummary",
+    "MARTRegressor",
+    # workloads
+    "WorkloadRunner",
+    "build_tpch_workload",
+    "build_tpch_multi_scale_workload",
+    "build_tpcds_workload",
+    "build_real1_workload",
+    "build_real2_workload",
+    "build_training_data",
+    "split_workload",
+]

@@ -1,0 +1,53 @@
+"""Competing estimation techniques evaluated in the paper (Section 7).
+
+Every technique implements the same interface
+(:class:`~repro.baselines.base.BaselineEstimator`): fit on a list of
+observed training queries for one resource and one feature mode, then
+predict query-level resource usage for unseen queries.  The SCALING
+technique itself is wrapped behind the same interface so the experiment
+harness can treat all seven techniques uniformly.
+"""
+
+from repro.baselines.akdere import AkdereOperatorBaseline
+from repro.baselines.base import BaselineEstimator, PerOperatorBaseline
+from repro.baselines.linear import LinearBaseline
+from repro.baselines.mart import MARTBaseline
+from repro.baselines.opt import OptimizerBaseline
+from repro.baselines.regtree import RegTreeBaseline
+from repro.baselines.scaling import ScalingTechnique
+from repro.baselines.svm import SVMBaseline
+
+__all__ = [
+    "AkdereOperatorBaseline",
+    "BaselineEstimator",
+    "PerOperatorBaseline",
+    "LinearBaseline",
+    "MARTBaseline",
+    "OptimizerBaseline",
+    "RegTreeBaseline",
+    "ScalingTechnique",
+    "SVMBaseline",
+]
+
+
+def standard_techniques(fast: bool = True, mart_config=None) -> list[BaselineEstimator]:
+    """The full line-up of techniques compared in the CPU experiments.
+
+    ``fast`` selects smaller model capacities so the whole experiment suite
+    runs quickly; the benchmark harness can request paper-scale settings.
+    An explicit ``mart_config`` overrides the capacity of every MART-based
+    technique (plain MART and SCALING).
+    """
+    from repro.ml.mart import MARTConfig
+
+    if mart_config is None:
+        mart_config = MARTConfig(n_iterations=150 if fast else 1000)
+    return [
+        OptimizerBaseline(),
+        AkdereOperatorBaseline(),
+        LinearBaseline(),
+        MARTBaseline(mart_config=mart_config),
+        SVMBaseline(),
+        RegTreeBaseline(),
+        ScalingTechnique(mart_config=mart_config),
+    ]

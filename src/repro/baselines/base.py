@@ -1,0 +1,142 @@
+"""Common interface and shared machinery of the estimation techniques."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.definitions import FeatureMode, OperatorFamily, features_for_family
+from repro.workloads.runner import ObservedOperator, ObservedQuery
+
+__all__ = ["BaselineEstimator", "PerOperatorBaseline"]
+
+
+class BaselineEstimator:
+    """Interface every estimation technique implements.
+
+    A technique is fitted for one resource (``"cpu"`` or ``"io"``) and one
+    feature mode (exact or optimizer-estimated) at a time, which mirrors how
+    the paper runs each experiment.
+    """
+
+    #: Display name used in the experiment tables.
+    name: str = "baseline"
+
+    def fit(
+        self,
+        train_queries: list[ObservedQuery],
+        resource: str,
+        mode: FeatureMode,
+    ) -> "BaselineEstimator":
+        raise NotImplementedError
+
+    def predict_query(self, query: ObservedQuery) -> float:
+        """Estimate the query-level resource usage of one observed query."""
+        raise NotImplementedError
+
+    def predict_queries(self, queries: list[ObservedQuery]) -> np.ndarray:
+        return np.array([self.predict_query(q) for q in queries], dtype=np.float64)
+
+
+@dataclass
+class _FamilyFallback:
+    """Per-output-tuple fallback for families absent from the training data."""
+
+    per_tuple: float
+
+    def predict(self, features: dict[str, float]) -> float:
+        rows = max(features.get("COUT", 0.0), features.get("CIN1", 0.0))
+        return max(self.per_tuple * rows, 0.0)
+
+
+class PerOperatorBaseline(BaselineEstimator):
+    """Shared scaffolding for techniques that train one regressor per family.
+
+    Subclasses implement :meth:`make_model` (a fresh regressor exposing
+    ``fit(X, y)`` / ``predict(X)``) and may override :meth:`family_features`
+    to restrict the feature set.  The query-level estimate is the sum of the
+    per-operator estimates, as in the paper.
+    """
+
+    #: Minimum number of operator observations required to fit a family model.
+    min_training_rows: int = 15
+
+    def __init__(self) -> None:
+        self.resource: str = "cpu"
+        self.mode: FeatureMode = FeatureMode.EXACT
+        self.models_: dict[OperatorFamily, object] = {}
+        self.feature_names_: dict[OperatorFamily, tuple[str, ...]] = {}
+        self.fallback_: _FamilyFallback = _FamilyFallback(per_tuple=0.0)
+
+    # -- hooks for subclasses ------------------------------------------------------------------
+    def make_model(self, family: OperatorFamily):
+        """Return an unfitted regressor for one operator family."""
+        raise NotImplementedError
+
+    def family_features(self, family: OperatorFamily) -> tuple[str, ...]:
+        """Feature names used for a family (defaults to the paper's full set)."""
+        return features_for_family(family)
+
+    # -- fitting ----------------------------------------------------------------------------------
+    def fit(
+        self,
+        train_queries: list[ObservedQuery],
+        resource: str,
+        mode: FeatureMode,
+    ) -> "PerOperatorBaseline":
+        self.resource = resource
+        self.mode = mode
+        self.models_ = {}
+        self.feature_names_ = {}
+
+        grouped: dict[OperatorFamily, list[ObservedOperator]] = {}
+        per_tuple_rates: list[float] = []
+        for query in train_queries:
+            for op in query.operators:
+                grouped.setdefault(op.family, []).append(op)
+                rows = max(op.features(mode).get("COUT", 0.0), 1.0)
+                per_tuple_rates.append(op.actual(resource) / rows)
+        self.fallback_ = _FamilyFallback(
+            per_tuple=float(np.median(per_tuple_rates)) if per_tuple_rates else 0.0
+        )
+
+        for family, operators in grouped.items():
+            if len(operators) < self.min_training_rows:
+                continue
+            names = self.family_features(family)
+            matrix = np.array(
+                [[op.features(mode).get(n, 0.0) for n in names] for op in operators],
+                dtype=np.float64,
+            )
+            targets = np.array([op.actual(resource) for op in operators], dtype=np.float64)
+            names, matrix = self._select_features(family, names, matrix, targets)
+            model = self.make_model(family)
+            model.fit(matrix, targets)
+            self.models_[family] = model
+            self.feature_names_[family] = names
+        return self
+
+    def _select_features(
+        self,
+        family: OperatorFamily,
+        names: tuple[str, ...],
+        matrix: np.ndarray,
+        targets: np.ndarray,
+    ) -> tuple[tuple[str, ...], np.ndarray]:
+        """Optional feature-selection hook (identity by default)."""
+        return names, matrix
+
+    # -- prediction ----------------------------------------------------------------------------------
+    def predict_operator(self, op: ObservedOperator) -> float:
+        features = op.features(self.mode)
+        model = self.models_.get(op.family)
+        if model is None:
+            return self.fallback_.predict(features)
+        names = self.feature_names_[op.family]
+        vector = np.array([features.get(n, 0.0) for n in names], dtype=np.float64)
+        estimate = float(np.asarray(model.predict(vector.reshape(1, -1)))[0])
+        return max(estimate, 0.0)
+
+    def predict_query(self, query: ObservedQuery) -> float:
+        return float(sum(self.predict_operator(op) for op in query.operators))

@@ -1,0 +1,45 @@
+"""LINEAR: per-operator linear regression over the paper's feature set.
+
+Uses the same numeric features as the SCALING technique (Tables 1 and 2) but
+a linear model per operator family, with greedy forward feature selection.
+Query-level estimates are the sum of operator estimates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import PerOperatorBaseline
+from repro.features.definitions import OperatorFamily, features_for_family
+from repro.ml.linear import LinearRegressor, greedy_feature_selection
+
+__all__ = ["LinearBaseline"]
+
+
+class LinearBaseline(PerOperatorBaseline):
+    """Per-family linear regression with greedy feature selection."""
+
+    name = "LINEAR"
+
+    def __init__(self, max_features: int = 6) -> None:
+        super().__init__()
+        self.max_features = max_features
+
+    def family_features(self, family: OperatorFamily) -> tuple[str, ...]:
+        # The categorical OUTPUTUSAGE feature is meaningless in a linear
+        # model; every numeric feature of the paper is a candidate.
+        return tuple(f for f in features_for_family(family) if f != "OUTPUTUSAGE")
+
+    def make_model(self, family: OperatorFamily) -> LinearRegressor:
+        return LinearRegressor()
+
+    def _select_features(
+        self,
+        family: OperatorFamily,
+        names: tuple[str, ...],
+        matrix: np.ndarray,
+        targets: np.ndarray,
+    ) -> tuple[tuple[str, ...], np.ndarray]:
+        selected = greedy_feature_selection(matrix, targets, max_features=self.max_features)
+        selected_names = tuple(names[i] for i in selected)
+        return selected_names, matrix[:, selected]

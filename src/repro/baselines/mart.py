@@ -1,0 +1,29 @@
+"""MART: the paper's base learner *without* the scaling component.
+
+This baseline isolates the contribution of the scaling framework: identical
+features, identical boosted-tree learner, but a single default model per
+operator family and no extrapolation mechanism.  In the paper it fits the
+in-distribution experiments extremely well but collapses whenever test
+feature values exceed the training range (Figure 3, Tables 5–9).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import PerOperatorBaseline
+from repro.features.definitions import OperatorFamily
+from repro.ml.mart import MARTConfig, MARTRegressor
+
+__all__ = ["MARTBaseline"]
+
+
+class MARTBaseline(PerOperatorBaseline):
+    """Per-family MART models over the paper's features, no scaling."""
+
+    name = "MART"
+
+    def __init__(self, mart_config: MARTConfig | None = None) -> None:
+        super().__init__()
+        self.mart_config = mart_config or MARTConfig()
+
+    def make_model(self, family: OperatorFamily) -> MARTRegressor:
+        return MARTRegressor(self.mart_config)

@@ -1,0 +1,86 @@
+"""OPT: adjusted optimizer cost estimates (paper Section 7, technique 1).
+
+The optimizer's cost units are not measured in milliseconds or page counts,
+so OPT maps them to the target resource by a per-operator-type adjustment
+factor fitted on the training data (the factor minimising the L2 error
+between ``factor x cost`` and the observed usage — the slope of the
+regression line in the paper's Figure 1).  OPT always uses the optimizer's
+own estimated cardinalities; it therefore only participates in the
+"optimizer-estimated features" experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.definitions import FeatureMode, OperatorFamily
+from repro.baselines.base import BaselineEstimator
+from repro.workloads.runner import ObservedQuery
+
+__all__ = ["OptimizerBaseline"]
+
+
+class OptimizerBaseline(BaselineEstimator):
+    """Optimizer cost x per-operator-type adjustment factor."""
+
+    name = "OPT"
+
+    def __init__(self) -> None:
+        self.resource = "cpu"
+        self.factors_: dict[OperatorFamily, float] = {}
+        self.global_factor_: float = 1.0
+
+    # -- helpers ---------------------------------------------------------------------------
+    @staticmethod
+    def _operator_cost(query: ObservedQuery, node_id: int, resource: str) -> float:
+        """The optimizer's cost estimate for one operator and resource."""
+        for op in query.plan.operators():
+            if op.node_id == node_id:
+                if resource == "cpu":
+                    return float(op.est_cpu_cost)
+                return float(op.est_io_cost)
+        return 0.0
+
+    # -- fitting -----------------------------------------------------------------------------
+    def fit(
+        self,
+        train_queries: list[ObservedQuery],
+        resource: str,
+        mode: FeatureMode = FeatureMode.ESTIMATED,
+    ) -> "OptimizerBaseline":
+        self.resource = resource
+        costs: dict[OperatorFamily, list[float]] = {}
+        actuals: dict[OperatorFamily, list[float]] = {}
+        all_costs: list[float] = []
+        all_actuals: list[float] = []
+        for query in train_queries:
+            for op in query.operators:
+                cost = self._operator_cost(query, op.node_id, resource)
+                actual = op.actual(resource)
+                costs.setdefault(op.family, []).append(cost)
+                actuals.setdefault(op.family, []).append(actual)
+                all_costs.append(cost)
+                all_actuals.append(actual)
+        self.factors_ = {}
+        for family in costs:
+            self.factors_[family] = self._l2_factor(costs[family], actuals[family])
+        self.global_factor_ = self._l2_factor(all_costs, all_actuals)
+        return self
+
+    @staticmethod
+    def _l2_factor(costs: list[float], actuals: list[float]) -> float:
+        cost_arr = np.asarray(costs, dtype=np.float64)
+        actual_arr = np.asarray(actuals, dtype=np.float64)
+        denominator = float(np.sum(cost_arr**2))
+        if denominator <= 0:
+            return 0.0
+        return float(np.sum(cost_arr * actual_arr) / denominator)
+
+    # -- prediction ---------------------------------------------------------------------------
+    def predict_query(self, query: ObservedQuery) -> float:
+        total = 0.0
+        for op in query.operators:
+            cost = self._operator_cost(query, op.node_id, self.resource)
+            factor = self.factors_.get(op.family, self.global_factor_)
+            total += factor * cost
+        return float(max(total, 0.0))

@@ -1,0 +1,29 @@
+"""REGTREE: boosted piecewise-linear trees (transform-regression stand-in).
+
+Mirrors the paper's own stand-in for the transform-regression approach of
+Zhang et al. (XML cost estimation): a boosted sequence of shallow trees with
+one-feature linear regressions at the leaves (see
+:mod:`repro.ml.transform_regression`), trained per operator family on the
+paper's feature set.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import PerOperatorBaseline
+from repro.features.definitions import OperatorFamily
+from repro.ml.transform_regression import TransformConfig, TransformRegressor
+
+__all__ = ["RegTreeBaseline"]
+
+
+class RegTreeBaseline(PerOperatorBaseline):
+    """Per-family boosted piecewise-linear regression."""
+
+    name = "REGTREE"
+
+    def __init__(self, config: TransformConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or TransformConfig()
+
+    def make_model(self, family: OperatorFamily) -> TransformRegressor:
+        return TransformRegressor(self.config)

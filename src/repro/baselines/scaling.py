@@ -1,0 +1,71 @@
+"""The SCALING technique wrapped behind the common baseline interface.
+
+This is a thin adapter over :class:`repro.core.estimator.ResourceEstimator`
+so that the experiment harness can fit and evaluate the paper's technique
+exactly like every competitor (same training queries, same feature mode,
+same query-level error metrics).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineEstimator
+from repro.core.estimator import ResourceEstimator
+from repro.core.trainer import TrainerConfig
+from repro.features.definitions import FeatureMode
+from repro.ml.mart import MARTConfig
+from repro.workloads.datasets import build_training_data
+from repro.workloads.runner import ObservedQuery
+
+__all__ = ["ScalingTechnique"]
+
+
+class ScalingTechnique(BaselineEstimator):
+    """MART + scaling functions + online model selection (the paper's method)."""
+
+    name = "SCALING"
+
+    def __init__(
+        self,
+        mart_config: MARTConfig | None = None,
+        trainer_config: TrainerConfig | None = None,
+    ) -> None:
+        if trainer_config is None:
+            trainer_config = TrainerConfig(mart=mart_config or MARTConfig())
+        self.trainer_config = trainer_config
+        self.resource = "cpu"
+        self.mode: FeatureMode = FeatureMode.EXACT
+        self.estimator_: ResourceEstimator | None = None
+
+    def fit(
+        self,
+        train_queries: list[ObservedQuery],
+        resource: str,
+        mode: FeatureMode,
+    ) -> "ScalingTechnique":
+        self.resource = resource
+        self.mode = mode
+        training_data = build_training_data(train_queries, mode)
+        self.estimator_ = ResourceEstimator.train(
+            training_data,
+            feature_mode=mode,
+            resources=(resource,),
+            config=self.trainer_config,
+        )
+        return self
+
+    def predict_query(self, query: ObservedQuery) -> float:
+        if self.estimator_ is None:
+            raise RuntimeError("ScalingTechnique has not been fitted")
+        total = 0.0
+        for op in query.operators:
+            total += self.estimator_._estimate_features(  # noqa: SLF001 - internal reuse
+                op.family, op.features(self.mode), self.resource
+            )
+        return float(total)
+
+    @property
+    def estimator(self) -> ResourceEstimator:
+        """The trained underlying estimator (for pipeline-level estimates)."""
+        if self.estimator_ is None:
+            raise RuntimeError("ScalingTechnique has not been fitted")
+        return self.estimator_

@@ -1,0 +1,37 @@
+"""SVM: kernel regression per operator family (paper Section 7, technique 5).
+
+The paper evaluates WEKA's SVM regression with several kernels and reports
+the best-performing kernel per experiment family (PolyKernel for CPU,
+RBFKernel for I/O).  The substitute kernel machine is described in
+:mod:`repro.ml.svr`; this baseline wires it up per operator family, with the
+kernel configurable so the experiment harness can report the same
+"best kernel" convention as the paper.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import PerOperatorBaseline
+from repro.features.definitions import OperatorFamily, features_for_family
+from repro.ml.kernels import make_kernel
+from repro.ml.svr import KernelSVR
+
+__all__ = ["SVMBaseline"]
+
+
+class SVMBaseline(PerOperatorBaseline):
+    """Per-family kernel regression (SVM-style)."""
+
+    name = "SVM"
+
+    def __init__(self, kernel: str = "poly", **kernel_params: float) -> None:
+        super().__init__()
+        self.kernel_name = kernel
+        self.kernel_params = kernel_params
+        self.name = f"SVM({kernel.upper()[:4]})"
+
+    def family_features(self, family: OperatorFamily) -> tuple[str, ...]:
+        # Kernel machines need numeric features only.
+        return tuple(f for f in features_for_family(family) if f != "OUTPUTUSAGE")
+
+    def make_model(self, family: OperatorFamily) -> KernelSVR:
+        return KernelSVR(kernel=make_kernel(self.kernel_name, **self.kernel_params))

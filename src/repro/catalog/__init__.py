@@ -1,0 +1,37 @@
+"""Schema/metadata substrate.
+
+The catalog plays the role of the database system tables: tables, columns,
+indexes and statistics.  The planner reads access paths from it, the
+cardinality estimator reads statistics from it, and the feature extractor
+reads table/index metadata (``TSIZE``, ``PAGES``, ``TCOLUMNS``,
+``INDEXDEPTH``) from it — exactly the "database metadata" inputs the paper
+lists in Figure 4.
+"""
+
+from repro.catalog.schema import (
+    Catalog,
+    Column,
+    ColumnType,
+    Index,
+    Table,
+    PAGE_SIZE_BYTES,
+)
+from repro.catalog.statistics import ColumnStatistics, StatisticsCatalog
+from repro.catalog.tpch import build_tpch_catalog
+from repro.catalog.tpcds import build_tpcds_catalog
+from repro.catalog.real import build_real1_catalog, build_real2_catalog
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "Index",
+    "Table",
+    "PAGE_SIZE_BYTES",
+    "ColumnStatistics",
+    "StatisticsCatalog",
+    "build_tpch_catalog",
+    "build_tpcds_catalog",
+    "build_real1_catalog",
+    "build_real2_catalog",
+]

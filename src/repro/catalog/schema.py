@@ -1,0 +1,303 @@
+"""Relational schema metadata: columns, tables, indexes, catalogs.
+
+Sizes follow simple, SQL Server-like conventions: fixed 8 KB pages, a small
+per-row header, B-tree indexes with a fanout derived from key width.  The
+derived quantities exposed here (``row_width``, ``pages``, ``index.depth``)
+feed directly into the operator-specific features of the paper (Table 2:
+``TSIZE``, ``PAGES``, ``TCOLUMNS``, ``INDEXDEPTH``, ``ESTIOCOST``).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.data.distributions import Distribution, make_distribution
+
+__all__ = [
+    "PAGE_SIZE_BYTES",
+    "ROW_HEADER_BYTES",
+    "ColumnType",
+    "Column",
+    "Table",
+    "Index",
+    "Catalog",
+]
+
+#: Fixed page size used for all I/O accounting (SQL Server uses 8 KB pages).
+PAGE_SIZE_BYTES = 8192
+
+#: Fixed per-row storage overhead (row header + null bitmap).
+ROW_HEADER_BYTES = 10
+
+#: Per-level overhead used when estimating B-tree fanout.
+_INDEX_ENTRY_OVERHEAD = 11
+
+
+class ColumnType(enum.Enum):
+    """Logical column types; only the storage width matters to the simulator."""
+
+    INTEGER = "integer"
+    BIGINT = "bigint"
+    DECIMAL = "decimal"
+    FLOAT = "float"
+    DATE = "date"
+    CHAR = "char"
+    VARCHAR = "varchar"
+
+    @property
+    def default_width(self) -> int:
+        """Default storage width in bytes for the type."""
+        return {
+            ColumnType.INTEGER: 4,
+            ColumnType.BIGINT: 8,
+            ColumnType.DECIMAL: 8,
+            ColumnType.FLOAT: 8,
+            ColumnType.DATE: 4,
+            ColumnType.CHAR: 16,
+            ColumnType.VARCHAR: 32,
+        }[self]
+
+
+@dataclass
+class Column:
+    """A single column of a table.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within its table.
+    ctype:
+        Logical type; determines the default width.
+    width:
+        Average storage width in bytes (``None`` uses the type default).
+    ndv:
+        Number of distinct values.  Defaults to the table row count when the
+        column is attached to a table (set by :meth:`Table.add_column`).
+    distribution:
+        Value-frequency distribution; defaults to uniform.
+    """
+
+    name: str
+    ctype: ColumnType = ColumnType.INTEGER
+    width: int | None = None
+    ndv: int | None = None
+    distribution: Distribution | None = None
+
+    def __post_init__(self) -> None:
+        if self.width is None:
+            self.width = self.ctype.default_width
+        if self.width <= 0:
+            raise ValueError(f"column {self.name!r}: width must be positive")
+
+    def resolved_ndv(self, table_rows: int) -> int:
+        """Distinct-value count, defaulting to one value per row."""
+        if self.ndv is None:
+            return max(int(table_rows), 1)
+        return max(int(self.ndv), 1)
+
+    def resolved_distribution(self, table_rows: int) -> Distribution:
+        """Distribution object, defaulting to uniform over the resolved NDV."""
+        if self.distribution is not None:
+            return self.distribution
+        return make_distribution("uniform", self.resolved_ndv(table_rows))
+
+
+@dataclass
+class Table:
+    """A base table with its columns and row count."""
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+    row_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.row_count < 0:
+            raise ValueError(f"table {self.name!r}: row_count must be >= 0")
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise ValueError(f"table {self.name!r}: duplicate column names")
+
+    # -- column access ---------------------------------------------------------
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(col.name == name for col in self.columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.columns)
+
+    # -- storage math ----------------------------------------------------------
+    @property
+    def row_width(self) -> int:
+        """Average row width in bytes including the row header."""
+        return ROW_HEADER_BYTES + sum(int(c.width or 0) for c in self.columns)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.row_width * self.row_count
+
+    @property
+    def pages(self) -> int:
+        """Number of data pages, assuming ~96% page fill."""
+        if self.row_count == 0:
+            return 1
+        rows_per_page = max(int((PAGE_SIZE_BYTES * 0.96) // self.row_width), 1)
+        return max(int(math.ceil(self.row_count / rows_per_page)), 1)
+
+    def width_of(self, column_names: list[str] | None = None) -> int:
+        """Total byte width of a projection (all columns when ``None``)."""
+        if column_names is None:
+            return self.row_width
+        return ROW_HEADER_BYTES + sum(int(self.column(n).width or 0) for n in column_names)
+
+
+@dataclass
+class Index:
+    """A B-tree index over one table.
+
+    The index depth (number of B-tree levels) is computed from the number of
+    leaf entries and the key fanout; it is exposed as the ``INDEXDEPTH``
+    feature and drives seek I/O in the engine simulator.
+    """
+
+    name: str
+    table_name: str
+    key_columns: list[str]
+    clustered: bool = False
+    include_columns: list[str] = field(default_factory=list)
+
+    def key_width(self, table: Table) -> int:
+        """Total key width in bytes."""
+        return sum(int(table.column(c).width or 0) for c in self.key_columns)
+
+    def fanout(self, table: Table) -> int:
+        """Approximate entries per internal B-tree page."""
+        entry = self.key_width(table) + _INDEX_ENTRY_OVERHEAD
+        return max(int(PAGE_SIZE_BYTES * 0.9 // entry), 2)
+
+    def leaf_entry_width(self, table: Table) -> int:
+        """Leaf entry width: full row for clustered indexes, key + locator otherwise."""
+        if self.clustered:
+            return table.row_width
+        include_width = sum(int(table.column(c).width or 0) for c in self.include_columns)
+        return self.key_width(table) + include_width + _INDEX_ENTRY_OVERHEAD
+
+    def leaf_pages(self, table: Table) -> int:
+        """Number of leaf-level pages."""
+        if table.row_count == 0:
+            return 1
+        per_page = max(int(PAGE_SIZE_BYTES * 0.9 // self.leaf_entry_width(table)), 1)
+        return max(int(math.ceil(table.row_count / per_page)), 1)
+
+    def depth(self, table: Table) -> int:
+        """Number of B-tree levels, including the leaf level (>= 1)."""
+        pages = self.leaf_pages(table)
+        fanout = self.fanout(table)
+        depth = 1
+        while pages > 1:
+            pages = int(math.ceil(pages / fanout))
+            depth += 1
+        return depth
+
+    def covers(self, column_names: list[str]) -> bool:
+        """Whether the index materialises all the given columns."""
+        if self.clustered:
+            return True
+        available = set(self.key_columns) | set(self.include_columns)
+        return all(c in available for c in column_names)
+
+
+@dataclass
+class Catalog:
+    """A named database: tables plus indexes.
+
+    The catalog deliberately stays metadata-only — no rows are ever
+    materialised; the engine simulator works from statistics.
+    """
+
+    name: str
+    tables: dict[str, Table] = field(default_factory=dict)
+    indexes: dict[str, Index] = field(default_factory=dict)
+    #: Free-form description of the data distribution used (e.g. skew Z).
+    properties: dict[str, object] = field(default_factory=dict)
+
+    # -- mutation ----------------------------------------------------------------
+    def add_table(self, table: Table) -> Table:
+        if table.name in self.tables:
+            raise ValueError(f"catalog {self.name!r}: duplicate table {table.name!r}")
+        self.tables[table.name] = table
+        return table
+
+    def add_index(self, index: Index) -> Index:
+        if index.name in self.indexes:
+            raise ValueError(f"catalog {self.name!r}: duplicate index {index.name!r}")
+        if index.table_name not in self.tables:
+            raise ValueError(
+                f"catalog {self.name!r}: index {index.name!r} references unknown "
+                f"table {index.table_name!r}"
+            )
+        table = self.tables[index.table_name]
+        for col in list(index.key_columns) + list(index.include_columns):
+            if not table.has_column(col):
+                raise ValueError(
+                    f"index {index.name!r}: table {table.name!r} has no column {col!r}"
+                )
+        self.indexes[index.name] = index
+        return index
+
+    # -- lookup ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"catalog {self.name!r} has no table {name!r}") from None
+
+    def indexes_on(self, table_name: str) -> list[Index]:
+        """All indexes defined over ``table_name``."""
+        return [ix for ix in self.indexes.values() if ix.table_name == table_name]
+
+    def clustered_index(self, table_name: str) -> Index | None:
+        for ix in self.indexes_on(table_name):
+            if ix.clustered:
+                return ix
+        return None
+
+    def find_index_on(self, table_name: str, leading_column: str) -> Index | None:
+        """Find an index whose leading key column is ``leading_column``."""
+        best: Index | None = None
+        for ix in self.indexes_on(table_name):
+            if ix.key_columns and ix.key_columns[0] == leading_column:
+                if best is None or (not best.clustered and ix.clustered):
+                    best = ix
+        return best
+
+    # -- summary -----------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.total_bytes for t in self.tables.values())
+
+    @property
+    def total_gb(self) -> float:
+        return self.total_bytes / float(1024**3)
+
+    def summary(self) -> str:
+        """Human-readable one-table-per-line summary."""
+        lines = [f"catalog {self.name!r}: {len(self.tables)} tables, {self.total_gb:.2f} GB"]
+        for table in sorted(self.tables.values(), key=lambda t: -t.row_count):
+            lines.append(
+                f"  {table.name:<24s} rows={table.row_count:>12,d} "
+                f"width={table.row_width:>5d}B pages={table.pages:>9,d}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Column statistics: the information the optimizer (and only the optimizer)
+sees about the data.
+
+Two views of every column exist:
+
+* the **true** distribution (held by :class:`repro.data.Distribution` on the
+  column itself), which the engine simulator uses to compute actual
+  cardinalities and resource usage, and
+* the **statistics** view defined here — an equi-depth histogram with a
+  bounded number of buckets plus distinct-value counts — which the
+  cardinality estimator uses.
+
+The statistics view intentionally loses information (bucket averaging,
+stale/damped distinct counts), which yields the realistic, systematic
+cardinality-estimation errors the paper studies in its
+"optimizer-estimated features" experiments (Tables 7–12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.catalog.schema import Catalog, Column, Table
+from repro.data.distributions import Distribution
+
+__all__ = ["ColumnStatistics", "StatisticsCatalog"]
+
+#: Number of histogram buckets kept per column (SQL Server keeps up to 200
+#: steps; we keep fewer so bucket-averaging error is visible at small scale).
+DEFAULT_HISTOGRAM_BUCKETS = 32
+
+
+@dataclass
+class ColumnStatistics:
+    """Optimizer-visible statistics for one column.
+
+    The histogram stores, for ``n_buckets`` equal-width slices of the value
+    domain (by rank), the fraction of rows falling into each slice.  Range
+    selectivities are answered by summing whole buckets and linearly
+    interpolating the partial bucket — the classical source of estimation
+    error under intra-bucket skew.
+    """
+
+    table_name: str
+    column_name: str
+    row_count: int
+    ndv: int
+    bucket_fractions: np.ndarray
+    #: Damping factor applied to distinct counts to model stale statistics.
+    ndv_error: float = 1.0
+
+    @classmethod
+    def from_column(
+        cls,
+        table: Table,
+        column: Column,
+        n_buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+        ndv_error: float = 1.0,
+    ) -> "ColumnStatistics":
+        """Build statistics by sampling the column's true distribution."""
+        dist = column.resolved_distribution(table.row_count)
+        ndv = column.resolved_ndv(table.row_count)
+        n_buckets = max(1, min(n_buckets, ndv))
+        boundaries = np.linspace(0.0, 1.0, n_buckets + 1)
+        fractions = np.empty(n_buckets, dtype=np.float64)
+        prev = 0.0
+        for i in range(n_buckets):
+            cum = dist.range_selectivity(boundaries[i + 1], anchor="head")
+            fractions[i] = max(cum - prev, 0.0)
+            prev = cum
+        total = fractions.sum()
+        if total > 0:
+            fractions = fractions / total
+        return cls(
+            table_name=table.name,
+            column_name=column.name,
+            row_count=table.row_count,
+            ndv=ndv,
+            bucket_fractions=fractions,
+            ndv_error=ndv_error,
+        )
+
+    # -- estimated selectivities ------------------------------------------------
+    @property
+    def estimated_ndv(self) -> int:
+        """Distinct count as the optimizer believes it (possibly damped)."""
+        return max(int(round(self.ndv * self.ndv_error)), 1)
+
+    def estimated_eq_selectivity(self) -> float:
+        """Estimated selectivity of an equality predicate (1 / NDV)."""
+        return 1.0 / self.estimated_ndv
+
+    def estimated_range_selectivity(self, fraction: float, anchor: str = "head") -> float:
+        """Estimated selectivity of a range predicate from the histogram."""
+        fraction = float(min(1.0, max(0.0, fraction)))
+        n_buckets = len(self.bucket_fractions)
+        if n_buckets == 0:
+            return fraction
+        position = fraction * n_buckets
+        whole = int(position)
+        partial = position - whole
+        if anchor == "head":
+            buckets = self.bucket_fractions
+        elif anchor == "tail":
+            buckets = self.bucket_fractions[::-1]
+        else:
+            raise ValueError(f"anchor must be 'head' or 'tail', got {anchor!r}")
+        selectivity = float(buckets[:whole].sum())
+        if whole < n_buckets:
+            selectivity += float(buckets[whole]) * partial
+        return min(max(selectivity, 0.0), 1.0)
+
+
+@dataclass
+class StatisticsCatalog:
+    """Statistics for every (table, column) pair of a catalog.
+
+    Parameters
+    ----------
+    histogram_buckets:
+        Bucket budget per column histogram.
+    ndv_error:
+        Multiplicative damping of distinct-value counts, modelling stale or
+        sampled statistics (1.0 = perfectly fresh).
+    """
+
+    catalog: Catalog
+    histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS
+    ndv_error: float = 1.0
+    _stats: dict[tuple[str, str], ColumnStatistics] = field(default_factory=dict)
+
+    def column_statistics(self, table_name: str, column_name: str) -> ColumnStatistics:
+        """Return (building lazily) statistics for one column."""
+        key = (table_name, column_name)
+        if key not in self._stats:
+            table = self.catalog.table(table_name)
+            column = table.column(column_name)
+            self._stats[key] = ColumnStatistics.from_column(
+                table,
+                column,
+                n_buckets=self.histogram_buckets,
+                ndv_error=self.ndv_error,
+            )
+        return self._stats[key]
+
+    def invalidate(self) -> None:
+        """Drop all cached statistics (e.g. after editing the catalog)."""
+        self._stats.clear()

@@ -1,0 +1,219 @@
+"""TPC-DS (subset) schema builder.
+
+The paper uses ~100 randomly chosen TPC-DS queries over a ~10 GB database as
+one of its cross-workload generalisation test sets.  We reproduce the
+sub-schema those queries dominantly touch: the three sales fact tables with
+their shared dimensions.  Rows are wider and the star-join plan shapes are
+different from TPC-H, which is what makes this a useful generalisation test.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Catalog, Column, ColumnType, Index, Table
+from repro.data.distributions import make_distribution
+
+__all__ = ["build_tpcds_catalog"]
+
+#: Base (scale-factor 1) row counts of the modelled TPC-DS tables.
+_BASE_ROWS = {
+    "date_dim": 73_049,
+    "item": 18_000,
+    "store": 12,
+    "customer": 100_000,
+    "customer_address": 50_000,
+    "customer_demographics": 1_920_800,
+    "promotion": 300,
+    "store_sales": 2_880_404,
+    "catalog_sales": 1_441_548,
+    "web_sales": 719_384,
+    "store_returns": 287_514,
+    "inventory": 11_745_000,
+    "warehouse": 5,
+}
+
+_FIXED_TABLES = {"date_dim", "store", "warehouse", "promotion", "customer_demographics"}
+
+
+def _rows(table: str, scale_factor: float) -> int:
+    base = _BASE_ROWS[table]
+    if table in _FIXED_TABLES:
+        return base
+    return int(round(base * scale_factor))
+
+
+def _skewed(ndv: int, z: float):
+    return make_distribution("zipf", max(ndv, 1), z)
+
+
+def build_tpcds_catalog(scale_factor: float = 10.0, skew_z: float = 0.8) -> Catalog:
+    """Build a TPC-DS subset catalog (default ~10 GB, matching the paper)."""
+    if scale_factor <= 0:
+        raise ValueError("scale_factor must be positive")
+    cat = Catalog(name=f"tpcds_sf{scale_factor:g}")
+    cat.properties.update({"benchmark": "tpcds", "scale_factor": scale_factor, "skew_z": skew_z})
+
+    item_rows = _rows("item", scale_factor)
+    customer_rows = _rows("customer", scale_factor)
+    address_rows = _rows("customer_address", scale_factor)
+    ss_rows = _rows("store_sales", scale_factor)
+    cs_rows = _rows("catalog_sales", scale_factor)
+    ws_rows = _rows("web_sales", scale_factor)
+    sr_rows = _rows("store_returns", scale_factor)
+    inv_rows = _rows("inventory", scale_factor)
+
+    cat.add_table(Table("date_dim", [
+        Column("d_date_sk", ColumnType.INTEGER, ndv=_BASE_ROWS["date_dim"]),
+        Column("d_date", ColumnType.DATE, ndv=_BASE_ROWS["date_dim"]),
+        Column("d_year", ColumnType.INTEGER, ndv=200),
+        Column("d_moy", ColumnType.INTEGER, ndv=12),
+        Column("d_dom", ColumnType.INTEGER, ndv=31),
+        Column("d_qoy", ColumnType.INTEGER, ndv=4),
+        Column("d_day_name", ColumnType.CHAR, width=9, ndv=7),
+        Column("d_month_seq", ColumnType.INTEGER, ndv=2400),
+    ], row_count=_rows("date_dim", scale_factor)))
+
+    cat.add_table(Table("item", [
+        Column("i_item_sk", ColumnType.INTEGER, ndv=item_rows),
+        Column("i_item_id", ColumnType.CHAR, width=16, ndv=item_rows),
+        Column("i_item_desc", ColumnType.VARCHAR, width=100, ndv=item_rows),
+        Column("i_brand", ColumnType.CHAR, width=50, ndv=700, distribution=_skewed(700, skew_z)),
+        Column("i_category", ColumnType.CHAR, width=50, ndv=10, distribution=_skewed(10, skew_z)),
+        Column("i_class", ColumnType.CHAR, width=50, ndv=100, distribution=_skewed(100, skew_z)),
+        Column("i_manufact_id", ColumnType.INTEGER, ndv=1000, distribution=_skewed(1000, skew_z)),
+        Column("i_current_price", ColumnType.DECIMAL, ndv=10_000),
+        Column("i_color", ColumnType.CHAR, width=20, ndv=90, distribution=_skewed(90, skew_z)),
+    ], row_count=item_rows))
+
+    cat.add_table(Table("store", [
+        Column("s_store_sk", ColumnType.INTEGER, ndv=_BASE_ROWS["store"]),
+        Column("s_store_id", ColumnType.CHAR, width=16, ndv=_BASE_ROWS["store"]),
+        Column("s_store_name", ColumnType.VARCHAR, width=50, ndv=_BASE_ROWS["store"]),
+        Column("s_state", ColumnType.CHAR, width=2, ndv=9),
+        Column("s_market_id", ColumnType.INTEGER, ndv=10),
+    ], row_count=_rows("store", scale_factor)))
+
+    cat.add_table(Table("warehouse", [
+        Column("w_warehouse_sk", ColumnType.INTEGER, ndv=_BASE_ROWS["warehouse"]),
+        Column("w_warehouse_name", ColumnType.VARCHAR, width=20, ndv=_BASE_ROWS["warehouse"]),
+        Column("w_state", ColumnType.CHAR, width=2, ndv=5),
+    ], row_count=_rows("warehouse", scale_factor)))
+
+    cat.add_table(Table("promotion", [
+        Column("p_promo_sk", ColumnType.INTEGER, ndv=_BASE_ROWS["promotion"]),
+        Column("p_channel_email", ColumnType.CHAR, width=1, ndv=2),
+        Column("p_channel_tv", ColumnType.CHAR, width=1, ndv=2),
+    ], row_count=_rows("promotion", scale_factor)))
+
+    cat.add_table(Table("customer", [
+        Column("c_customer_sk", ColumnType.INTEGER, ndv=customer_rows),
+        Column("c_customer_id", ColumnType.CHAR, width=16, ndv=customer_rows),
+        Column("c_current_addr_sk", ColumnType.INTEGER, ndv=address_rows,
+               distribution=_skewed(address_rows, skew_z)),
+        Column("c_current_cdemo_sk", ColumnType.INTEGER, ndv=_BASE_ROWS["customer_demographics"]),
+        Column("c_first_name", ColumnType.CHAR, width=20, ndv=5000),
+        Column("c_last_name", ColumnType.CHAR, width=30, ndv=6000),
+        Column("c_birth_year", ColumnType.INTEGER, ndv=100),
+        Column("c_birth_country", ColumnType.VARCHAR, width=20, ndv=200,
+               distribution=_skewed(200, skew_z)),
+    ], row_count=customer_rows))
+
+    cat.add_table(Table("customer_address", [
+        Column("ca_address_sk", ColumnType.INTEGER, ndv=address_rows),
+        Column("ca_state", ColumnType.CHAR, width=2, ndv=51, distribution=_skewed(51, skew_z)),
+        Column("ca_city", ColumnType.VARCHAR, width=60, ndv=1000, distribution=_skewed(1000, skew_z)),
+        Column("ca_country", ColumnType.VARCHAR, width=20, ndv=1),
+        Column("ca_gmt_offset", ColumnType.DECIMAL, ndv=6),
+    ], row_count=address_rows))
+
+    cat.add_table(Table("customer_demographics", [
+        Column("cd_demo_sk", ColumnType.INTEGER, ndv=_BASE_ROWS["customer_demographics"]),
+        Column("cd_gender", ColumnType.CHAR, width=1, ndv=2),
+        Column("cd_marital_status", ColumnType.CHAR, width=1, ndv=5),
+        Column("cd_education_status", ColumnType.CHAR, width=20, ndv=7,
+               distribution=_skewed(7, skew_z)),
+    ], row_count=_rows("customer_demographics", scale_factor)))
+
+    def _sales_columns(prefix: str, rows: int) -> list[Column]:
+        return [
+            Column(f"{prefix}_sold_date_sk", ColumnType.INTEGER, ndv=1823,
+                   distribution=_skewed(1823, skew_z)),
+            Column(f"{prefix}_item_sk", ColumnType.INTEGER, ndv=item_rows,
+                   distribution=_skewed(item_rows, skew_z)),
+            Column(f"{prefix}_customer_sk", ColumnType.INTEGER, ndv=customer_rows,
+                   distribution=_skewed(customer_rows, skew_z)),
+            Column(f"{prefix}_cdemo_sk", ColumnType.INTEGER, ndv=_BASE_ROWS["customer_demographics"]),
+            Column(f"{prefix}_addr_sk", ColumnType.INTEGER, ndv=address_rows),
+            Column(f"{prefix}_promo_sk", ColumnType.INTEGER, ndv=_BASE_ROWS["promotion"]),
+            Column(f"{prefix}_quantity", ColumnType.INTEGER, ndv=100,
+                   distribution=_skewed(100, skew_z)),
+            Column(f"{prefix}_wholesale_cost", ColumnType.DECIMAL, ndv=10_000),
+            Column(f"{prefix}_list_price", ColumnType.DECIMAL, ndv=30_000),
+            Column(f"{prefix}_sales_price", ColumnType.DECIMAL, ndv=30_000),
+            Column(f"{prefix}_ext_discount_amt", ColumnType.DECIMAL, ndv=100_000),
+            Column(f"{prefix}_ext_sales_price", ColumnType.DECIMAL, ndv=100_000),
+            Column(f"{prefix}_net_profit", ColumnType.DECIMAL, ndv=100_000),
+            Column(f"{prefix}_ticket_number", ColumnType.BIGINT, ndv=rows),
+        ]
+
+    cat.add_table(Table("store_sales",
+                        _sales_columns("ss", ss_rows)
+                        + [Column("ss_store_sk", ColumnType.INTEGER, ndv=_BASE_ROWS["store"],
+                                  distribution=_skewed(_BASE_ROWS["store"], skew_z))],
+                        row_count=ss_rows))
+    cat.add_table(Table("catalog_sales",
+                        _sales_columns("cs", cs_rows)
+                        + [Column("cs_warehouse_sk", ColumnType.INTEGER, ndv=_BASE_ROWS["warehouse"])],
+                        row_count=cs_rows))
+    cat.add_table(Table("web_sales",
+                        _sales_columns("ws", ws_rows)
+                        + [Column("ws_web_site_sk", ColumnType.INTEGER, ndv=30)],
+                        row_count=ws_rows))
+
+    cat.add_table(Table("store_returns", [
+        Column("sr_returned_date_sk", ColumnType.INTEGER, ndv=1823,
+               distribution=_skewed(1823, skew_z)),
+        Column("sr_item_sk", ColumnType.INTEGER, ndv=item_rows,
+               distribution=_skewed(item_rows, skew_z)),
+        Column("sr_customer_sk", ColumnType.INTEGER, ndv=customer_rows,
+               distribution=_skewed(customer_rows, skew_z)),
+        Column("sr_ticket_number", ColumnType.BIGINT, ndv=sr_rows),
+        Column("sr_return_quantity", ColumnType.INTEGER, ndv=100),
+        Column("sr_return_amt", ColumnType.DECIMAL, ndv=100_000),
+        Column("sr_net_loss", ColumnType.DECIMAL, ndv=100_000),
+    ], row_count=sr_rows))
+
+    cat.add_table(Table("inventory", [
+        Column("inv_date_sk", ColumnType.INTEGER, ndv=261,
+               distribution=_skewed(261, skew_z)),
+        Column("inv_item_sk", ColumnType.INTEGER, ndv=item_rows,
+               distribution=_skewed(item_rows, skew_z)),
+        Column("inv_warehouse_sk", ColumnType.INTEGER, ndv=_BASE_ROWS["warehouse"]),
+        Column("inv_quantity_on_hand", ColumnType.INTEGER, ndv=1000),
+    ], row_count=inv_rows))
+
+    # Clustered PKs on the surrogate keys plus the usual fact-table FK indexes.
+    cat.add_index(Index("pk_date_dim", "date_dim", ["d_date_sk"], clustered=True))
+    cat.add_index(Index("pk_item", "item", ["i_item_sk"], clustered=True))
+    cat.add_index(Index("pk_store", "store", ["s_store_sk"], clustered=True))
+    cat.add_index(Index("pk_warehouse", "warehouse", ["w_warehouse_sk"], clustered=True))
+    cat.add_index(Index("pk_promotion", "promotion", ["p_promo_sk"], clustered=True))
+    cat.add_index(Index("pk_customer", "customer", ["c_customer_sk"], clustered=True))
+    cat.add_index(Index("pk_customer_address", "customer_address", ["ca_address_sk"], clustered=True))
+    cat.add_index(Index("pk_customer_demographics", "customer_demographics", ["cd_demo_sk"],
+                        clustered=True))
+    cat.add_index(Index("cx_store_sales", "store_sales", ["ss_sold_date_sk", "ss_ticket_number"],
+                        clustered=True))
+    cat.add_index(Index("cx_catalog_sales", "catalog_sales", ["cs_sold_date_sk", "cs_ticket_number"],
+                        clustered=True))
+    cat.add_index(Index("cx_web_sales", "web_sales", ["ws_sold_date_sk", "ws_ticket_number"],
+                        clustered=True))
+    cat.add_index(Index("cx_store_returns", "store_returns", ["sr_returned_date_sk", "sr_ticket_number"],
+                        clustered=True))
+    cat.add_index(Index("cx_inventory", "inventory", ["inv_date_sk", "inv_item_sk"], clustered=True))
+    cat.add_index(Index("ix_ss_item", "store_sales", ["ss_item_sk"]))
+    cat.add_index(Index("ix_ss_customer", "store_sales", ["ss_customer_sk"]))
+    cat.add_index(Index("ix_cs_item", "catalog_sales", ["cs_item_sk"]))
+    cat.add_index(Index("ix_ws_item", "web_sales", ["ws_item_sk"]))
+    cat.add_index(Index("ix_sr_item", "store_returns", ["sr_item_sk"]))
+    cat.add_index(Index("ix_inv_item", "inventory", ["inv_item_sk"]))
+    return cat

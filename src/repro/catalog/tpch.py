@@ -1,0 +1,195 @@
+"""TPC-H schema builder with configurable scale factor and skew.
+
+The paper generates its main training workload from TPC-H data produced by a
+skewed generator (Zipf factor ``Z``, up to 2) at scale factors 1–10.  This
+module reproduces the schema and the per-scale-factor row counts of the
+benchmark; value skew is attached to the columns that the skewed TPC-H
+generator skews (foreign keys, quantities, prices, dates).
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Catalog, Column, ColumnType, Index, Table
+from repro.data.distributions import make_distribution
+
+__all__ = ["build_tpch_catalog", "TPCH_TABLES"]
+
+#: Base (scale-factor 1) row counts of the TPC-H tables.
+_BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+#: Tables whose cardinality does not grow with the scale factor.
+_FIXED_TABLES = {"region", "nation"}
+
+TPCH_TABLES = tuple(_BASE_ROWS)
+
+
+def _rows(table: str, scale_factor: float) -> int:
+    base = _BASE_ROWS[table]
+    if table in _FIXED_TABLES:
+        return base
+    return int(round(base * scale_factor))
+
+
+def _skewed(ndv: int, skew_z: float):
+    """Zipf distribution over ``ndv`` values (uniform when ``skew_z`` is 0)."""
+    return make_distribution("zipf", max(ndv, 1), skew_z)
+
+
+def build_tpch_catalog(scale_factor: float = 1.0, skew_z: float = 1.0) -> Catalog:
+    """Build a TPC-H catalog.
+
+    Parameters
+    ----------
+    scale_factor:
+        TPC-H scale factor; roughly the database size in GB.
+    skew_z:
+        Zipf exponent applied to the skewed columns (0 = uniform data, the
+        paper uses 1 and 2).
+    """
+    if scale_factor <= 0:
+        raise ValueError("scale_factor must be positive")
+    cat = Catalog(name=f"tpch_sf{scale_factor:g}_z{skew_z:g}")
+    cat.properties.update({"benchmark": "tpch", "scale_factor": scale_factor, "skew_z": skew_z})
+
+    lineitem_rows = _rows("lineitem", scale_factor)
+    orders_rows = _rows("orders", scale_factor)
+    customer_rows = _rows("customer", scale_factor)
+    part_rows = _rows("part", scale_factor)
+    partsupp_rows = _rows("partsupp", scale_factor)
+    supplier_rows = _rows("supplier", scale_factor)
+
+    cat.add_table(Table("region", [
+        Column("r_regionkey", ColumnType.INTEGER, ndv=5),
+        Column("r_name", ColumnType.CHAR, width=25, ndv=5),
+        Column("r_comment", ColumnType.VARCHAR, width=80, ndv=5),
+    ], row_count=_rows("region", scale_factor)))
+
+    cat.add_table(Table("nation", [
+        Column("n_nationkey", ColumnType.INTEGER, ndv=25),
+        Column("n_name", ColumnType.CHAR, width=25, ndv=25),
+        Column("n_regionkey", ColumnType.INTEGER, ndv=5),
+        Column("n_comment", ColumnType.VARCHAR, width=95, ndv=25),
+    ], row_count=_rows("nation", scale_factor)))
+
+    cat.add_table(Table("supplier", [
+        Column("s_suppkey", ColumnType.INTEGER, ndv=supplier_rows),
+        Column("s_name", ColumnType.CHAR, width=25, ndv=supplier_rows),
+        Column("s_address", ColumnType.VARCHAR, width=30, ndv=supplier_rows),
+        Column("s_nationkey", ColumnType.INTEGER, ndv=25,
+               distribution=_skewed(25, skew_z)),
+        Column("s_phone", ColumnType.CHAR, width=15, ndv=supplier_rows),
+        Column("s_acctbal", ColumnType.DECIMAL, ndv=supplier_rows),
+        Column("s_comment", ColumnType.VARCHAR, width=70, ndv=supplier_rows),
+    ], row_count=supplier_rows))
+
+    cat.add_table(Table("customer", [
+        Column("c_custkey", ColumnType.INTEGER, ndv=customer_rows),
+        Column("c_name", ColumnType.VARCHAR, width=25, ndv=customer_rows),
+        Column("c_address", ColumnType.VARCHAR, width=30, ndv=customer_rows),
+        Column("c_nationkey", ColumnType.INTEGER, ndv=25,
+               distribution=_skewed(25, skew_z)),
+        Column("c_phone", ColumnType.CHAR, width=15, ndv=customer_rows),
+        Column("c_acctbal", ColumnType.DECIMAL, ndv=customer_rows),
+        Column("c_mktsegment", ColumnType.CHAR, width=10, ndv=5,
+               distribution=_skewed(5, skew_z)),
+        Column("c_comment", ColumnType.VARCHAR, width=80, ndv=customer_rows),
+    ], row_count=customer_rows))
+
+    cat.add_table(Table("part", [
+        Column("p_partkey", ColumnType.INTEGER, ndv=part_rows),
+        Column("p_name", ColumnType.VARCHAR, width=40, ndv=part_rows),
+        Column("p_mfgr", ColumnType.CHAR, width=25, ndv=5,
+               distribution=_skewed(5, skew_z)),
+        Column("p_brand", ColumnType.CHAR, width=10, ndv=25,
+               distribution=_skewed(25, skew_z)),
+        Column("p_type", ColumnType.VARCHAR, width=25, ndv=150,
+               distribution=_skewed(150, skew_z)),
+        Column("p_size", ColumnType.INTEGER, ndv=50,
+               distribution=_skewed(50, skew_z)),
+        Column("p_container", ColumnType.CHAR, width=10, ndv=40,
+               distribution=_skewed(40, skew_z)),
+        Column("p_retailprice", ColumnType.DECIMAL, ndv=part_rows),
+        Column("p_comment", ColumnType.VARCHAR, width=14, ndv=part_rows),
+    ], row_count=part_rows))
+
+    cat.add_table(Table("partsupp", [
+        Column("ps_partkey", ColumnType.INTEGER, ndv=part_rows,
+               distribution=_skewed(part_rows, skew_z)),
+        Column("ps_suppkey", ColumnType.INTEGER, ndv=supplier_rows,
+               distribution=_skewed(supplier_rows, skew_z)),
+        Column("ps_availqty", ColumnType.INTEGER, ndv=10_000),
+        Column("ps_supplycost", ColumnType.DECIMAL, ndv=100_000),
+        Column("ps_comment", ColumnType.VARCHAR, width=120, ndv=partsupp_rows),
+    ], row_count=partsupp_rows))
+
+    cat.add_table(Table("orders", [
+        Column("o_orderkey", ColumnType.INTEGER, ndv=orders_rows),
+        Column("o_custkey", ColumnType.INTEGER, ndv=customer_rows,
+               distribution=_skewed(customer_rows, skew_z)),
+        Column("o_orderstatus", ColumnType.CHAR, width=1, ndv=3,
+               distribution=_skewed(3, skew_z)),
+        Column("o_totalprice", ColumnType.DECIMAL, ndv=orders_rows),
+        Column("o_orderdate", ColumnType.DATE, ndv=2406,
+               distribution=_skewed(2406, skew_z)),
+        Column("o_orderpriority", ColumnType.CHAR, width=15, ndv=5,
+               distribution=_skewed(5, skew_z)),
+        Column("o_clerk", ColumnType.CHAR, width=15, ndv=1000),
+        Column("o_shippriority", ColumnType.INTEGER, ndv=1),
+        Column("o_comment", ColumnType.VARCHAR, width=49, ndv=orders_rows),
+    ], row_count=orders_rows))
+
+    cat.add_table(Table("lineitem", [
+        Column("l_orderkey", ColumnType.INTEGER, ndv=orders_rows,
+               distribution=_skewed(orders_rows, skew_z)),
+        Column("l_partkey", ColumnType.INTEGER, ndv=part_rows,
+               distribution=_skewed(part_rows, skew_z)),
+        Column("l_suppkey", ColumnType.INTEGER, ndv=supplier_rows,
+               distribution=_skewed(supplier_rows, skew_z)),
+        Column("l_linenumber", ColumnType.INTEGER, ndv=7),
+        Column("l_quantity", ColumnType.DECIMAL, ndv=50,
+               distribution=_skewed(50, skew_z)),
+        Column("l_extendedprice", ColumnType.DECIMAL, ndv=1_000_000),
+        Column("l_discount", ColumnType.DECIMAL, ndv=11,
+               distribution=_skewed(11, skew_z)),
+        Column("l_tax", ColumnType.DECIMAL, ndv=9),
+        Column("l_returnflag", ColumnType.CHAR, width=1, ndv=3,
+               distribution=_skewed(3, skew_z)),
+        Column("l_linestatus", ColumnType.CHAR, width=1, ndv=2),
+        Column("l_shipdate", ColumnType.DATE, ndv=2526,
+               distribution=_skewed(2526, skew_z)),
+        Column("l_commitdate", ColumnType.DATE, ndv=2466),
+        Column("l_receiptdate", ColumnType.DATE, ndv=2554),
+        Column("l_shipinstruct", ColumnType.CHAR, width=25, ndv=4),
+        Column("l_shipmode", ColumnType.CHAR, width=10, ndv=7,
+               distribution=_skewed(7, skew_z)),
+        Column("l_comment", ColumnType.VARCHAR, width=27, ndv=lineitem_rows),
+    ], row_count=lineitem_rows))
+
+    # Clustered primary-key indexes plus the nonclustered indexes commonly
+    # created for TPC-H runs (foreign keys and date columns).
+    cat.add_index(Index("pk_region", "region", ["r_regionkey"], clustered=True))
+    cat.add_index(Index("pk_nation", "nation", ["n_nationkey"], clustered=True))
+    cat.add_index(Index("pk_supplier", "supplier", ["s_suppkey"], clustered=True))
+    cat.add_index(Index("pk_customer", "customer", ["c_custkey"], clustered=True))
+    cat.add_index(Index("pk_part", "part", ["p_partkey"], clustered=True))
+    cat.add_index(Index("pk_partsupp", "partsupp", ["ps_partkey", "ps_suppkey"], clustered=True))
+    cat.add_index(Index("pk_orders", "orders", ["o_orderkey"], clustered=True))
+    cat.add_index(Index("pk_lineitem", "lineitem", ["l_orderkey", "l_linenumber"], clustered=True))
+    cat.add_index(Index("ix_customer_nation", "customer", ["c_nationkey"]))
+    cat.add_index(Index("ix_supplier_nation", "supplier", ["s_nationkey"]))
+    cat.add_index(Index("ix_orders_custkey", "orders", ["o_custkey"]))
+    cat.add_index(Index("ix_orders_orderdate", "orders", ["o_orderdate"]))
+    cat.add_index(Index("ix_lineitem_partkey", "lineitem", ["l_partkey"]))
+    cat.add_index(Index("ix_lineitem_suppkey", "lineitem", ["l_suppkey"]))
+    cat.add_index(Index("ix_lineitem_shipdate", "lineitem", ["l_shipdate"]))
+    cat.add_index(Index("ix_partsupp_suppkey", "partsupp", ["ps_suppkey"]))
+    return cat

@@ -1,0 +1,96 @@
+"""Command-line interface for the reproduction.
+
+Usage (module form, no installation entry point required)::
+
+    python -m repro.cli list
+    python -m repro.cli run table_4 [--profile fast|paper] [--output results/]
+    python -m repro.cli run all --output results/
+
+``run`` executes one registered experiment (or ``all`` of them) and prints
+the regenerated table/figure; with ``--output`` the rendered results are
+also written to one text file per experiment, mirroring what the benchmark
+suite stores under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.config import get_config
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro.cli`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Regenerate the tables and figures of the paper's evaluation.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment",
+        help="experiment identifier (see 'list'), or 'all'",
+    )
+    run_parser.add_argument(
+        "--profile",
+        choices=("fast", "paper"),
+        default=None,
+        help="experiment profile (default: REPRO_PROFILE or 'fast')",
+    )
+    run_parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="directory to write rendered results into (one file per experiment)",
+    )
+    return parser
+
+
+def _run_one(experiment_id: str, config, output_dir: Path | None) -> str:
+    started = time.perf_counter()
+    result = run_experiment(experiment_id, config)
+    elapsed = time.perf_counter() - started
+    text = result.render()
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+        (output_dir / f"{experiment_id}.txt").write_text(text + "\n", encoding="utf-8")
+    return f"{text}\n[{experiment_id} completed in {elapsed:.1f}s]"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+
+    config = get_config(args.profile)
+    if args.experiment == "all":
+        experiment_ids = sorted(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        experiment_ids = [args.experiment]
+    else:
+        known = ", ".join(sorted(EXPERIMENTS))
+        parser.error(f"unknown experiment {args.experiment!r}; known: {known}, or 'all'")
+        return 2  # pragma: no cover - parser.error raises SystemExit
+
+    for experiment_id in experiment_ids:
+        print(_run_one(experiment_id, config, args.output))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

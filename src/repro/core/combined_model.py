@@ -1,0 +1,173 @@
+"""Combined models: scaling function ∘ scaled MART model (paper Section 6).
+
+A :class:`CombinedModel` with zero scaling steps is a plain ("default-style")
+MART model over the raw operator features.  With one or more scaling steps,
+the underlying MART model is trained on transformed data (targets divided by
+the scaling factors, scaling features removed, dependent features
+normalised) and predictions are multiplied back up by the scaling factors.
+
+Every model records the training range (low/high) of each of its *own* input
+features — in its own transformed space — which is what the out_ratio model
+selection heuristic compares against at estimation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.scaled_model import ScalingStep, transform_feature_dict, transform_targets
+from repro.features.definitions import OperatorFamily
+from repro.ml.mart import MARTConfig, MARTRegressor
+from repro.ml.metrics import l1_relative_error
+
+__all__ = ["CombinedModel"]
+
+
+@dataclass
+class CombinedModel:
+    """A (possibly scaled) MART model for one operator family and resource."""
+
+    family: OperatorFamily
+    resource: str
+    feature_names: tuple[str, ...]
+    steps: tuple[ScalingStep, ...] = ()
+    mart_config: MARTConfig = field(default_factory=MARTConfig)
+
+    def __post_init__(self) -> None:
+        self.model_: MARTRegressor | None = None
+        #: Input feature names of the scaled model (scaling features removed).
+        self.input_features_: tuple[str, ...] = tuple(
+            name for name in self.feature_names if name not in self.scaling_feature_names
+        )
+        self.training_low_: dict[str, float] = {}
+        self.training_high_: dict[str, float] = {}
+        self.training_error_: float = float("inf")
+        self.n_training_rows_: int = 0
+        #: Range of the (scaled) training targets; scaled-model outputs are
+        #: clamped to it at prediction time (see ``predict``).
+        self.scaled_target_low_: float = 0.0
+        self.scaled_target_high_: float = float("inf")
+
+    # -- identity -----------------------------------------------------------------------------
+    @property
+    def scaling_feature_names(self) -> tuple[str, ...]:
+        return tuple(step.feature for step in self.steps)
+
+    @property
+    def n_scaling_features(self) -> int:
+        return len(self.steps)
+
+    @property
+    def is_default_form(self) -> bool:
+        """True when the model uses no scaling at all."""
+        return not self.steps
+
+    @property
+    def name(self) -> str:
+        if not self.steps:
+            return f"{self.family.value}/{self.resource}/plain"
+        parts = "+".join(f"{s.feature}:{s.function.name}" for s in self.steps)
+        return f"{self.family.value}/{self.resource}/scaled[{parts}]"
+
+    # -- training ------------------------------------------------------------------------------
+    def fit(self, feature_rows: list[dict[str, float]], targets: np.ndarray) -> "CombinedModel":
+        """Train the underlying MART model on transformed data."""
+        if not feature_rows:
+            raise ValueError(f"{self.name}: cannot train on an empty dataset")
+        targets = np.asarray(targets, dtype=np.float64)
+        transformed_rows = [transform_feature_dict(row, self.steps) for row in feature_rows]
+        scaled_targets = transform_targets(feature_rows, targets, self.steps)
+        matrix = self._matrix(transformed_rows)
+        self.model_ = MARTRegressor(self.mart_config)
+        self.model_.fit(matrix, scaled_targets)
+        self.n_training_rows_ = len(feature_rows)
+        self._record_ranges(matrix)
+        self.scaled_target_low_ = float(scaled_targets.min())
+        self.scaled_target_high_ = float(scaled_targets.max())
+        # Training error (used to pick the family's default model): predict in
+        # batch on the already-transformed matrix and scale back up.
+        scaled_predictions = self.model_.predict(matrix)
+        factors = np.array(
+            [self._scale_factor(row) for row in feature_rows], dtype=np.float64
+        )
+        predictions = np.maximum(scaled_predictions * factors, 0.0)
+        self.training_error_ = l1_relative_error(predictions, targets)
+        return self
+
+    def _scale_factor(self, feature_values: dict[str, float]) -> float:
+        """Product of the scaling-function values for one raw feature row."""
+        factor = 1.0
+        for step in self.steps:
+            factor *= max(step.scale_value(feature_values.get(step.feature, 0.0)), 0.0)
+        return factor
+
+    def _matrix(self, transformed_rows: list[dict[str, float]]) -> np.ndarray:
+        return np.array(
+            [[row.get(name, 0.0) for name in self.input_features_] for row in transformed_rows],
+            dtype=np.float64,
+        )
+
+    def _record_ranges(self, matrix: np.ndarray) -> None:
+        lows = matrix.min(axis=0)
+        highs = matrix.max(axis=0)
+        self.training_low_ = {
+            name: float(lows[i]) for i, name in enumerate(self.input_features_)
+        }
+        self.training_high_ = {
+            name: float(highs[i]) for i, name in enumerate(self.input_features_)
+        }
+
+    # -- prediction ------------------------------------------------------------------------------
+    def predict(self, feature_values: dict[str, float]) -> float:
+        """Estimate the resource for one operator instance.
+
+        For scaled models the MART output is a *per-unit* quantity (e.g. CPU
+        per input tuple); it is clamped to the per-unit range observed during
+        training, since the magnitude of the estimate is carried by the
+        scaling function and per-unit costs outside the observed range are an
+        artefact of boosting overshoot rather than a meaningful prediction.
+        """
+        if self.model_ is None:
+            raise RuntimeError(f"{self.name} has not been trained")
+        transformed = transform_feature_dict(feature_values, self.steps)
+        vector = np.array(
+            [transformed.get(name, 0.0) for name in self.input_features_], dtype=np.float64
+        )
+        estimate = float(self.model_.predict(vector)[0])
+        if self.steps:
+            estimate = min(max(estimate, self.scaled_target_low_), self.scaled_target_high_)
+        estimate *= self._scale_factor(feature_values)
+        return max(estimate, 0.0)
+
+    # -- model selection support --------------------------------------------------------------------
+    def out_ratio(self, feature_values: dict[str, float], feature: str) -> float:
+        """How far outside the training range ``feature`` falls for this model.
+
+        The ratio is the distance of the (transformed) feature value from the
+        training interval, normalised by the interval width; 0 means the
+        value was covered during training.  Features this model scales by
+        are not inputs of its scaled MART model, so they never contribute.
+        """
+        if feature not in self.training_low_:
+            return 0.0
+        transformed = transform_feature_dict(feature_values, self.steps)
+        value = transformed.get(feature, 0.0)
+        low = self.training_low_[feature]
+        high = self.training_high_[feature]
+        width = max(high - low, 1e-9)
+        if value < low:
+            return (low - value) / width
+        if value > high:
+            return (value - high) / width
+        return 0.0
+
+    def out_ratio_profile(self, feature_values: dict[str, float]) -> list[float]:
+        """All per-feature out_ratios, sorted descending (for tie-breaking)."""
+        ratios = [self.out_ratio(feature_values, name) for name in self.input_features_]
+        return sorted(ratios, reverse=True)
+
+    def max_out_ratio(self, feature_values: dict[str, float]) -> float:
+        profile = self.out_ratio_profile(feature_values)
+        return profile[0] if profile else 0.0

@@ -1,0 +1,174 @@
+"""The on-line resource estimator (the SCALING technique's public API).
+
+A trained :class:`ResourceEstimator` maps an annotated query plan to
+estimates of its CPU time and logical I/O at three granularities: per
+operator, per pipeline and per query.  Estimation of a plan costs one
+feature extraction plus one model-selection decision and one MART evaluation
+per operator, matching the paper's observation that prediction overhead is
+negligible next to query optimisation itself (Section 7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.trainer import (
+    FamilyTrainingData,
+    OperatorModelSet,
+    ScalingModelTrainer,
+    TrainerConfig,
+)
+from repro.features.definitions import FeatureMode, OperatorFamily, operator_family
+from repro.features.extractor import FeatureExtractor
+from repro.plan.operators import PlanOperator
+from repro.plan.plan import QueryPlan
+
+__all__ = ["ResourceEstimator"]
+
+#: The resources the library models, as in the paper.
+DEFAULT_RESOURCES: tuple[str, ...] = ("cpu", "io")
+
+
+@dataclass
+class _FallbackModel:
+    """Last-resort estimate for operator families unseen during training.
+
+    Predicts the average per-output-tuple resource usage observed across all
+    training operators, multiplied by the instance's output cardinality.
+    This keeps cross-workload experiments well-defined even if a plan uses
+    an operator type that never appeared in the training workload.
+    """
+
+    per_tuple: float
+    constant: float
+
+    def predict(self, feature_values: dict[str, float]) -> float:
+        rows = max(feature_values.get("COUT", 0.0), feature_values.get("CIN1", 0.0))
+        return max(self.constant + self.per_tuple * rows, 0.0)
+
+
+@dataclass
+class ResourceEstimator:
+    """Operator-level resource estimation with MART + scaling models."""
+
+    feature_mode: FeatureMode = FeatureMode.EXACT
+    model_sets: dict[tuple[OperatorFamily, str], OperatorModelSet] = field(default_factory=dict)
+    fallbacks: dict[str, _FallbackModel] = field(default_factory=dict)
+    resources: tuple[str, ...] = DEFAULT_RESOURCES
+
+    def __post_init__(self) -> None:
+        self._extractor = FeatureExtractor(self.feature_mode)
+
+    # -- training -----------------------------------------------------------------------------------
+    @classmethod
+    def train(
+        cls,
+        training_data: dict[OperatorFamily, FamilyTrainingData],
+        feature_mode: FeatureMode = FeatureMode.EXACT,
+        resources: tuple[str, ...] = DEFAULT_RESOURCES,
+        config: TrainerConfig | None = None,
+    ) -> "ResourceEstimator":
+        """Train model sets for every operator family present in the data.
+
+        ``training_data`` is produced by
+        :func:`repro.workloads.datasets.build_training_data`; the feature
+        dictionaries it contains must have been extracted with the same
+        ``feature_mode`` that will be used at estimation time.
+        """
+        trainer = ScalingModelTrainer(config)
+        estimator = cls(feature_mode=feature_mode, resources=resources)
+        for resource in resources:
+            per_tuple_rates: list[float] = []
+            constants: list[float] = []
+            for family, data in training_data.items():
+                model_set = trainer.train_family(data, resource)
+                if model_set is not None:
+                    estimator.model_sets[(family, resource)] = model_set
+                targets = data.target_array(resource)
+                for row, value in zip(data.feature_rows, targets):
+                    rows = max(row.get("COUT", 0.0), row.get("CIN1", 0.0), 1.0)
+                    per_tuple_rates.append(value / rows)
+                    constants.append(value)
+            estimator.fallbacks[resource] = _FallbackModel(
+                per_tuple=float(np.median(per_tuple_rates)) if per_tuple_rates else 0.0,
+                constant=float(np.median(constants)) * 0.0 if constants else 0.0,
+            )
+        return estimator
+
+    # -- estimation ----------------------------------------------------------------------------------
+    def estimate_operator(
+        self,
+        operator: PlanOperator,
+        parent: PlanOperator | None = None,
+        resource: str = "cpu",
+    ) -> float:
+        """Estimate one operator instance."""
+        features = self._extractor.extract_operator(operator, parent)
+        return self._estimate_features(features.family, features.values, resource)
+
+    def estimate_plan(self, plan: QueryPlan, resource: str = "cpu") -> float:
+        """Estimate the total resource usage of a plan (sum over operators)."""
+        per_operator = self.estimate_operators(plan, resource)
+        return float(sum(per_operator.values()))
+
+    def estimate_operators(self, plan: QueryPlan, resource: str = "cpu") -> dict[int, float]:
+        """Per-operator estimates for a plan, keyed by operator node id."""
+        features = self._extractor.extract_plan(plan)
+        estimates: dict[int, float] = {}
+        for op in plan.operators():
+            op_features = features[op.node_id]
+            estimates[op.node_id] = self._estimate_features(
+                op_features.family, op_features.values, resource
+            )
+        return estimates
+
+    def estimate_pipelines(self, plan: QueryPlan, resource: str = "cpu") -> dict[int, float]:
+        """Per-pipeline estimates (the scheduling granularity of Section 5.2)."""
+        per_operator = self.estimate_operators(plan, resource)
+        totals: dict[int, float] = {}
+        for pipeline in plan.pipelines():
+            totals[pipeline.index] = float(
+                sum(per_operator[op.node_id] for op in pipeline.operators)
+            )
+        return totals
+
+    def estimate_query(self, plan: QueryPlan, resource: str = "cpu") -> float:
+        """Alias of :meth:`estimate_plan` (query-level granularity)."""
+        return self.estimate_plan(plan, resource)
+
+    # -- internals --------------------------------------------------------------------------------------
+    def _estimate_features(
+        self, family: OperatorFamily, feature_values: dict[str, float], resource: str
+    ) -> float:
+        self._check_resource(resource)
+        model_set = self.model_sets.get((family, resource))
+        if model_set is not None:
+            return model_set.predict(feature_values)
+        fallback = self.fallbacks.get(resource)
+        if fallback is not None:
+            return fallback.predict(feature_values)
+        return 0.0
+
+    def _check_resource(self, resource: str) -> None:
+        if resource not in self.resources:
+            raise ValueError(
+                f"unknown resource {resource!r}; this estimator models {self.resources}"
+            )
+
+    # -- introspection -------------------------------------------------------------------------------------
+    def families(self, resource: str = "cpu") -> list[OperatorFamily]:
+        """Operator families with a trained model set for ``resource``."""
+        return [family for (family, res) in self.model_sets if res == resource]
+
+    def model_set(self, family: OperatorFamily, resource: str = "cpu") -> OperatorModelSet:
+        try:
+            return self.model_sets[(family, resource)]
+        except KeyError:
+            raise KeyError(f"no model set for family {family} and resource {resource!r}") from None
+
+    @staticmethod
+    def family_of(operator: PlanOperator) -> OperatorFamily:
+        """Convenience passthrough to the feature-definition mapping."""
+        return operator_family(operator.op_type)

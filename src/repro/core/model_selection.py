@@ -1,0 +1,74 @@
+"""Online model selection (paper Section 6.3).
+
+For every operator instance of an incoming query the estimator must choose
+among the default model and the available combined models.  The heuristic
+relies on the monotonic relationship between the scalable features and
+resource usage: the further a feature value falls outside the range a model
+was trained on (its ``out_ratio``), the less we trust that model for this
+instance.
+
+Selection rule:
+
+1. if the default model's out_ratio is zero for every feature, use it;
+2. otherwise use the model whose *maximum* out_ratio over its input features
+   is smallest;
+3. break ties by (a) preferring fewer scaling features and (b) comparing the
+   second-largest out_ratio, third-largest, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.combined_model import CombinedModel
+
+__all__ = ["ModelSelector", "SelectionDecision"]
+
+
+@dataclass(frozen=True)
+class SelectionDecision:
+    """The outcome of one model-selection decision (useful for diagnostics)."""
+
+    model: CombinedModel
+    max_out_ratio: float
+    used_default: bool
+
+
+class ModelSelector:
+    """Implements the out_ratio selection heuristic."""
+
+    def select(
+        self,
+        default_model: CombinedModel,
+        models: list[CombinedModel],
+        feature_values: dict[str, float],
+    ) -> SelectionDecision:
+        """Choose the model to use for one operator instance."""
+        default_profile = default_model.out_ratio_profile(feature_values)
+        if not default_profile or default_profile[0] <= 0.0:
+            return SelectionDecision(
+                model=default_model, max_out_ratio=0.0, used_default=True
+            )
+
+        candidates = list(models)
+        if default_model not in candidates:
+            candidates.append(default_model)
+
+        best_model: CombinedModel | None = None
+        best_key: tuple | None = None
+        for model in candidates:
+            profile = model.out_ratio_profile(feature_values)
+            max_ratio = profile[0] if profile else 0.0
+            # Sort key implements the rule + tie-breaks: smaller maximum
+            # out_ratio first, then fewer scaling features, then the rest of
+            # the (descending) out_ratio profile lexicographically.
+            key = (max_ratio, model.n_scaling_features, tuple(profile[1:8]))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_model = model
+        assert best_model is not None
+        return SelectionDecision(
+            model=best_model,
+            max_out_ratio=float(best_key[0]) if best_key else 0.0,
+            used_default=best_model is default_model,
+        )

@@ -1,0 +1,85 @@
+"""Training-data transformation for scaled models (paper Section 6.1).
+
+A *scaled model* differs from the default model in three ways:
+
+1. it predicts resource usage per unit of the scaling function value,
+   i.e. the training targets are divided by ``g(F̂)``;
+2. the outlier feature ``F̂`` is removed from the input feature set;
+3. every feature that *depends* on ``F̂`` (Table 3) is normalised by dividing
+   its value by ``F̂`` — both at training time and at prediction time —
+   so that a single root cause (e.g. an excessive tuple count) does not get
+   scaled twice.
+
+This module implements those transformations as pure functions over feature
+dictionaries so that :class:`~repro.core.combined_model.CombinedModel` can
+apply exactly the same code path during training and prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.scaling import ScalingFunction
+from repro.features.dependencies import dependent_features
+
+__all__ = ["ScalingStep", "transform_feature_dict", "transform_targets"]
+
+#: Guard against division by zero when normalising dependent features.
+_MIN_DIVISOR = 1e-9
+
+
+@dataclass(frozen=True)
+class ScalingStep:
+    """One (feature, scaling function) pair of a combined model.
+
+    Multi-feature scaling applies steps sequentially: the model is first
+    scaled by ``steps[0]``, the resulting scaled model by ``steps[1]``, etc.
+    (Section 6.1, "Scaling by Multiple Features").
+    """
+
+    feature: str
+    function: ScalingFunction
+
+    def scale_value(self, feature_value: float) -> float:
+        """The multiplicative factor ``g(F̂)`` contributed by this step."""
+        return float(self.function(max(feature_value, 0.0)))
+
+
+def transform_feature_dict(
+    values: dict[str, float], steps: tuple[ScalingStep, ...]
+) -> dict[str, float]:
+    """Apply scaling-feature removal and dependent-feature normalisation.
+
+    Returns a new dictionary with the scaling features removed and every
+    dependent feature divided by the raw value of its scaling feature.  The
+    input dictionary is not modified.
+    """
+    transformed = dict(values)
+    for step in steps:
+        raw = transformed.get(step.feature, values.get(step.feature, 0.0))
+        divisor = max(abs(raw), _MIN_DIVISOR)
+        for dependent in dependent_features(step.feature):
+            if dependent in transformed:
+                transformed[dependent] = transformed[dependent] / divisor
+        transformed.pop(step.feature, None)
+    return transformed
+
+
+def transform_targets(
+    feature_rows: list[dict[str, float]],
+    targets: np.ndarray,
+    steps: tuple[ScalingStep, ...],
+) -> np.ndarray:
+    """Divide each target by the product of the scaling factors of its row."""
+    targets = np.asarray(targets, dtype=np.float64)
+    if not steps:
+        return targets.copy()
+    scaled = targets.copy()
+    for i, row in enumerate(feature_rows):
+        factor = 1.0
+        for step in steps:
+            factor *= max(step.scale_value(row.get(step.feature, 0.0)), _MIN_DIVISOR)
+        scaled[i] = targets[i] / factor
+    return scaled

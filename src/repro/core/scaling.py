@@ -1,0 +1,196 @@
+"""Scaling functions and the framework that selects them (paper Section 6.2).
+
+A scaling function models the asymptotic effect of one feature on resource
+usage: linear for per-tuple costs (filters, scans), ``n·log n`` for sorts,
+logarithmic for index-depth effects, and two-input forms (sum, product,
+``outer × log(inner)``) for join operators.  During training the framework
+generates observations in which one feature is varied while all independent
+features stay fixed, fits each candidate function by least squares and picks
+the one with the smallest L2 error — this is how Figures 7 and 8 of the
+paper choose ``n·log n`` scaling for Sort CPU and
+``C_outer × log2(C_inner)`` scaling for index nested loop joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.features.definitions import OperatorFamily
+
+__all__ = [
+    "ScalingFunction",
+    "SCALING_FUNCTIONS",
+    "TWO_INPUT_SCALING_FUNCTIONS",
+    "make_scaling_function",
+    "default_scaling_function",
+    "FittedScaling",
+    "ScalingFunctionSelector",
+]
+
+
+@dataclass(frozen=True)
+class ScalingFunction:
+    """A fixed functional form ``g`` applied to one or two feature values.
+
+    The combined models multiply a scaled model's output by ``g(F)``; the
+    selection framework additionally fits a proportionality constant
+    ``alpha`` when comparing candidate forms against observed resource
+    curves.
+    """
+
+    name: str
+    arity: int
+    _fn: Callable[..., np.ndarray]
+
+    def __call__(self, *values: float | np.ndarray) -> np.ndarray | float:
+        if len(values) != self.arity:
+            raise ValueError(
+                f"scaling function {self.name!r} expects {self.arity} inputs, got {len(values)}"
+            )
+        arrays = [np.asarray(v, dtype=np.float64) for v in values]
+        result = self._fn(*arrays)
+        if all(np.isscalar(v) or np.ndim(v) == 0 for v in values):
+            return float(result)
+        return result
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _safe_log2(x: np.ndarray) -> np.ndarray:
+    return np.log2(np.maximum(x, 1.0) + 1.0)
+
+
+#: Single-input scaling functions considered by the selection framework.
+SCALING_FUNCTIONS: dict[str, ScalingFunction] = {
+    "linear": ScalingFunction("linear", 1, lambda x: x),
+    "nlogn": ScalingFunction("nlogn", 1, lambda x: x * _safe_log2(x)),
+    "log": ScalingFunction("log", 1, _safe_log2),
+    "sqrt": ScalingFunction("sqrt", 1, lambda x: np.sqrt(np.maximum(x, 0.0))),
+    "quadratic": ScalingFunction("quadratic", 1, lambda x: x**2),
+    "power_1_5": ScalingFunction("power_1_5", 1, lambda x: np.maximum(x, 0.0) ** 1.5),
+}
+
+#: Two-input scaling functions (join operators).
+TWO_INPUT_SCALING_FUNCTIONS: dict[str, ScalingFunction] = {
+    "sum": ScalingFunction("sum", 2, lambda a, b: a + b),
+    "product": ScalingFunction("product", 2, lambda a, b: a * b),
+    "outer_log_inner": ScalingFunction("outer_log_inner", 2, lambda a, b: a * _safe_log2(b)),
+    "sum_log": ScalingFunction("sum_log", 2, lambda a, b: _safe_log2(a) + _safe_log2(b)),
+}
+
+
+def make_scaling_function(name: str) -> ScalingFunction:
+    """Look up a scaling function by name (single- or two-input)."""
+    if name in SCALING_FUNCTIONS:
+        return SCALING_FUNCTIONS[name]
+    if name in TWO_INPUT_SCALING_FUNCTIONS:
+        return TWO_INPUT_SCALING_FUNCTIONS[name]
+    raise ValueError(f"unknown scaling function {name!r}")
+
+
+#: Canonical per-(family, feature) scaling choices.  These encode the
+#: asymptotic knowledge of SQL query processing the paper derives from its
+#: calibration experiments; the empirical selector below reproduces them
+#: from data (Figures 7 and 8).
+_DEFAULT_SCALING: dict[tuple[OperatorFamily, str], str] = {
+    (OperatorFamily.SORT, "CIN1"): "nlogn",
+    (OperatorFamily.SORT, "SINTOT1"): "nlogn",
+    (OperatorFamily.SORT, "MINCOMP"): "nlogn",
+    (OperatorFamily.SORT, "COUT"): "nlogn",
+    (OperatorFamily.SORT, "SOUTTOT"): "nlogn",
+    (OperatorFamily.SEEK, "TSIZE"): "log",
+    (OperatorFamily.SEEK, "PAGES"): "log",
+    (OperatorFamily.NESTED_LOOP_JOIN, "SSEEKTABLE"): "log",
+}
+
+
+def default_scaling_function(
+    family: OperatorFamily, feature: str, resource: str = "cpu"
+) -> ScalingFunction:
+    """The scaling function used for (family, feature) combined models.
+
+    For the I/O resource the discontinuous spill behaviour dominates and the
+    paper scales linearly in the cardinality features; logarithmic choices
+    only apply to CPU.
+    """
+    if resource == "cpu":
+        name = _DEFAULT_SCALING.get((family, feature), "linear")
+    else:
+        name = "linear"
+    return SCALING_FUNCTIONS[name]
+
+
+@dataclass(frozen=True)
+class FittedScaling:
+    """One candidate scaling function fitted to an observed resource curve."""
+
+    function: ScalingFunction
+    alpha: float
+    l2_error: float
+
+    def predict(self, *values: float | np.ndarray) -> np.ndarray | float:
+        return self.alpha * np.asarray(self.function(*values), dtype=np.float64)
+
+
+class ScalingFunctionSelector:
+    """Selects the best-fitting scaling function for an observed curve.
+
+    Given observations ``(feature value(s), resource)`` in which everything
+    except the swept feature is held constant, each candidate ``alpha · g``
+    is fitted by least squares and candidates are ranked by L2 error.
+    """
+
+    def __init__(self, candidates: Sequence[ScalingFunction] | None = None) -> None:
+        self.candidates = list(candidates) if candidates is not None else list(
+            SCALING_FUNCTIONS.values()
+        )
+
+    def fit_all(
+        self, feature_values: np.ndarray | Sequence, resources: np.ndarray | Sequence
+    ) -> list[FittedScaling]:
+        """Fit every candidate and return them sorted by L2 error."""
+        resources = np.asarray(resources, dtype=np.float64)
+        fitted: list[FittedScaling] = []
+        for function in self.candidates:
+            g_values = self._evaluate(function, feature_values)
+            alpha = self._fit_alpha(g_values, resources)
+            residual = resources - alpha * g_values
+            fitted.append(
+                FittedScaling(
+                    function=function,
+                    alpha=alpha,
+                    l2_error=float(np.sqrt(np.mean(residual**2))),
+                )
+            )
+        fitted.sort(key=lambda f: f.l2_error)
+        return fitted
+
+    def select(
+        self, feature_values: np.ndarray | Sequence, resources: np.ndarray | Sequence
+    ) -> FittedScaling:
+        """The best-fitting candidate (smallest L2 error)."""
+        return self.fit_all(feature_values, resources)[0]
+
+    @staticmethod
+    def _evaluate(
+        function: ScalingFunction, feature_values: np.ndarray | Sequence
+    ) -> np.ndarray:
+        if function.arity == 1:
+            return np.asarray(function(np.asarray(feature_values, dtype=np.float64)))
+        values = np.asarray(feature_values, dtype=np.float64)
+        if values.ndim != 2 or values.shape[1] != 2:
+            raise ValueError(
+                f"two-input scaling function {function.name!r} needs an (n, 2) value array"
+            )
+        return np.asarray(function(values[:, 0], values[:, 1]))
+
+    @staticmethod
+    def _fit_alpha(g_values: np.ndarray, resources: np.ndarray) -> float:
+        denominator = float(np.sum(g_values**2))
+        if denominator <= 0:
+            return 0.0
+        return float(np.sum(g_values * resources) / denominator)

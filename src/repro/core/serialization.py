@@ -1,0 +1,156 @@
+"""Compact model serialization and memory accounting (paper Section 7.3).
+
+The paper argues the deployed model collection is small: a single regression
+tree with at most 10 leaves can be encoded in ~130 bytes (child offsets in
+one byte each, one byte for the split feature, 4-byte floats for thresholds
+and leaf estimates), so 1000 boosting iterations fit in ~127 KB and the full
+per-operator model collection in a few megabytes — independent of training
+set or data size.  This module implements exactly that encoding so the
+memory experiment can measure it rather than assert it.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.combined_model import CombinedModel
+from repro.core.trainer import OperatorModelSet
+from repro.ml.mart import MARTRegressor
+from repro.ml.regression_tree import RegressionTree, TreeNode
+
+__all__ = [
+    "serialize_tree",
+    "deserialize_tree",
+    "serialize_mart",
+    "mart_size_bytes",
+    "combined_model_size_bytes",
+    "model_set_size_bytes",
+    "estimator_size_bytes",
+    "ModelSizeReport",
+]
+
+#: Node record: child offset (1 byte), split feature (1 byte, 0xFF for leaf),
+#: threshold or leaf value (4-byte float).
+_NODE_FORMAT = "<BBf"
+_NODE_BYTES = struct.calcsize(_NODE_FORMAT)
+_LEAF_MARKER = 0xFF
+
+
+def _flatten(node: TreeNode, nodes: list[TreeNode]) -> None:
+    """Pre-order flattening; children are appended directly after the parent subtree."""
+    nodes.append(node)
+    if not node.is_leaf:
+        assert node.left is not None and node.right is not None
+        _flatten(node.left, nodes)
+        _flatten(node.right, nodes)
+
+
+def serialize_tree(tree: RegressionTree) -> bytes:
+    """Encode a fitted regression tree into the paper's compact format."""
+    if tree.root is None:
+        raise ValueError("cannot serialize an unfitted tree")
+    nodes: list[TreeNode] = []
+    _flatten(tree.root, nodes)
+    index = {id(node): i for i, node in enumerate(nodes)}
+    records = bytearray()
+    records += struct.pack("<H", len(nodes))
+    for i, node in enumerate(nodes):
+        if node.is_leaf:
+            records += struct.pack(_NODE_FORMAT, 0, _LEAF_MARKER, float(node.value))
+        else:
+            assert node.right is not None
+            # Left child immediately follows its parent in pre-order, so only
+            # the right child's offset needs to be stored.
+            offset = index[id(node.right)] - i
+            if offset > 255:
+                raise ValueError("tree too large for single-byte child offsets")
+            records += struct.pack(_NODE_FORMAT, offset, int(node.feature), float(node.threshold))
+    return bytes(records)
+
+
+def deserialize_tree(data: bytes) -> RegressionTree:
+    """Decode a tree serialized by :func:`serialize_tree`."""
+    (n_nodes,) = struct.unpack_from("<H", data, 0)
+    records = []
+    for i in range(n_nodes):
+        offset, feature, value = struct.unpack_from(_NODE_FORMAT, data, 2 + i * _NODE_BYTES)
+        records.append((offset, feature, value))
+
+    def build(index: int) -> tuple[TreeNode, int]:
+        offset, feature, value = records[index]
+        if feature == _LEAF_MARKER:
+            return TreeNode(value=float(value)), index + 1
+        left, _ = build(index + 1)
+        right, next_index = build(index + offset)
+        node = TreeNode(value=0.0, feature=int(feature), threshold=float(value),
+                        left=left, right=right)
+        return node, next_index
+
+    root, _ = build(0)
+    tree = RegressionTree()
+    tree.root = root
+    return tree
+
+
+def serialize_mart(model: MARTRegressor) -> bytes:
+    """Encode a MART ensemble (initial prediction + all trees)."""
+    payload = bytearray()
+    payload += struct.pack("<fI", float(model.initial_prediction_), len(model.trees_))
+    for tree in model.trees_:
+        tree_bytes = serialize_tree(tree)
+        payload += struct.pack("<H", len(tree_bytes))
+        payload += tree_bytes
+    return bytes(payload)
+
+
+def mart_size_bytes(model: MARTRegressor) -> int:
+    """Size of the compact encoding of a MART ensemble."""
+    return len(serialize_mart(model))
+
+
+def combined_model_size_bytes(model: CombinedModel) -> int:
+    """Size of a combined model: the MART ensemble plus scaling metadata."""
+    if model.model_ is None:
+        return 0
+    size = mart_size_bytes(model.model_)
+    # Scaling metadata: one byte for the feature id and one for the function
+    # id per scaling step, plus the stored training ranges (two 4-byte floats
+    # per input feature).
+    size += 2 * len(model.steps)
+    size += 8 * len(model.input_features_)
+    return size
+
+
+def model_set_size_bytes(model_set: OperatorModelSet) -> int:
+    """Total size of all models stored for one (family, resource) pair."""
+    return sum(combined_model_size_bytes(m) for m in model_set.models)
+
+
+def estimator_size_bytes(estimator) -> int:
+    """Total size of every model stored by a trained ResourceEstimator."""
+    return sum(model_set_size_bytes(ms) for ms in estimator.model_sets.values())
+
+
+@dataclass(frozen=True)
+class ModelSizeReport:
+    """Summary used by the Section 7.3 memory experiment."""
+
+    n_model_sets: int
+    n_models: int
+    total_bytes: int
+    largest_single_model_bytes: int
+
+    @classmethod
+    def for_estimator(cls, estimator) -> "ModelSizeReport":
+        sizes = [
+            combined_model_size_bytes(model)
+            for model_set in estimator.model_sets.values()
+            for model in model_set.models
+        ]
+        return cls(
+            n_model_sets=len(estimator.model_sets),
+            n_models=len(sizes),
+            total_bytes=int(sum(sizes)),
+            largest_single_model_bytes=int(max(sizes)) if sizes else 0,
+        )

@@ -1,0 +1,30 @@
+"""Value-distribution substrate.
+
+This sub-package models how values are distributed inside columns of the
+synthetic databases.  The paper's workloads are generated over *skewed*
+TPC-H data (Zipf factor ``Z``); the skew is what creates large variance in
+resource consumption within a single query template, and it is also the main
+source of cardinality-estimation error for the optimizer (which assumes
+uniformity).  Everything downstream — true cardinalities, optimizer
+estimates, and therefore every feature value — is derived from the
+distributions defined here.
+"""
+
+from repro.data.distributions import (
+    Distribution,
+    NormalDistribution,
+    UniformDistribution,
+    ZipfDistribution,
+    make_distribution,
+)
+from repro.data.rng import derive_seed, make_rng
+
+__all__ = [
+    "Distribution",
+    "NormalDistribution",
+    "UniformDistribution",
+    "ZipfDistribution",
+    "make_distribution",
+    "derive_seed",
+    "make_rng",
+]

@@ -1,0 +1,255 @@
+"""Column value distributions and selectivity arithmetic.
+
+The simulator never materialises rows; instead each column carries a
+*distribution* object from which we can answer the two questions query
+processing needs:
+
+* what fraction of rows satisfies an equality predicate on a given value
+  (by frequency rank), and
+* what fraction of rows satisfies a range predicate covering a given
+  fraction of the value domain.
+
+The distinction between *domain fraction* (how much of the value domain a
+predicate covers) and *row fraction* (how many rows it actually selects) is
+what creates cardinality-estimation error under skew: the optimizer's
+uniformity assumption equates the two, whereas the true row fraction under a
+Zipf distribution can be much larger or smaller.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Distribution",
+    "UniformDistribution",
+    "ZipfDistribution",
+    "NormalDistribution",
+    "make_distribution",
+]
+
+
+class Distribution:
+    """Base class for column value distributions.
+
+    A distribution describes ``n_values`` distinct values.  Values are
+    identified by *rank* ``0 .. n_values - 1`` in decreasing order of
+    frequency.  Range predicates are expressed as a covered fraction of the
+    value domain ``q in [0, 1]`` anchored either at the frequent head of the
+    domain or at its infrequent tail.
+    """
+
+    def __init__(self, n_values: int) -> None:
+        if n_values < 1:
+            raise ValueError(f"n_values must be >= 1, got {n_values}")
+        self.n_values = int(n_values)
+
+    # -- row-fraction queries -------------------------------------------------
+    def eq_selectivity(self, rank: int) -> float:
+        """Fraction of rows carrying the value with frequency rank ``rank``."""
+        raise NotImplementedError
+
+    def range_selectivity(self, fraction: float, anchor: str = "head") -> float:
+        """Fraction of rows selected by a range covering ``fraction`` of the domain.
+
+        Parameters
+        ----------
+        fraction:
+            Covered fraction of the value domain, clipped to ``[0, 1]``.
+        anchor:
+            ``"head"`` anchors the range at the most frequent values,
+            ``"tail"`` at the least frequent ones.
+        """
+        raise NotImplementedError
+
+    # -- misc ------------------------------------------------------------------
+    def skew_coefficient(self) -> float:
+        """A scalar summary of skew (0 for uniform)."""
+        return 0.0
+
+    def sample_rank(self, rng: np.random.Generator) -> int:
+        """Sample a value rank proportionally to its frequency."""
+        raise NotImplementedError
+
+    def _clip_fraction(self, fraction: float) -> float:
+        return float(min(1.0, max(0.0, fraction)))
+
+
+class UniformDistribution(Distribution):
+    """All distinct values are equally frequent."""
+
+    def eq_selectivity(self, rank: int) -> float:
+        return 1.0 / self.n_values
+
+    def range_selectivity(self, fraction: float, anchor: str = "head") -> float:
+        return self._clip_fraction(fraction)
+
+    def sample_rank(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, self.n_values))
+
+
+class ZipfDistribution(Distribution):
+    """Zipf-distributed value frequencies with exponent ``z``.
+
+    ``z = 0`` degenerates to the uniform distribution; the paper's skewed
+    TPC-H generator uses ``z = 1`` and ``z = 2``.
+    """
+
+    #: Above this many distinct values the cumulative-frequency curve is
+    #: approximated analytically instead of materialising every frequency.
+    _EXACT_LIMIT = 200_000
+
+    def __init__(self, n_values: int, z: float) -> None:
+        super().__init__(n_values)
+        if z < 0:
+            raise ValueError(f"Zipf exponent must be >= 0, got {z}")
+        self.z = float(z)
+        self._exact = self.n_values <= self._EXACT_LIMIT
+        if self._exact:
+            ranks = np.arange(1, self.n_values + 1, dtype=np.float64)
+            weights = ranks ** (-self.z)
+            total = float(weights.sum())
+            self._freqs = weights / total
+            self._cum = np.cumsum(self._freqs)
+        else:
+            self._freqs = None
+            self._cum = None
+            self._harmonic = self._generalized_harmonic(self.n_values, self.z)
+
+    @staticmethod
+    def _generalized_harmonic(n: int, z: float) -> float:
+        """Approximate the generalized harmonic number ``H_{n,z}``."""
+        if z == 1.0:
+            return math.log(n) + 0.5772156649015329 + 1.0 / (2 * n)
+        if z > 1.0:
+            # Converges; integral approximation plus the first term.
+            return 1.0 + (1.0 - n ** (1.0 - z)) / (z - 1.0)
+        # 0 <= z < 1: dominated by the integral term.
+        return (n ** (1.0 - z) - 1.0) / (1.0 - z) + 1.0
+
+    def _cumulative(self, k: int) -> float:
+        """Cumulative frequency of the ``k`` most frequent values."""
+        if k <= 0:
+            return 0.0
+        k = min(k, self.n_values)
+        if self._exact:
+            return float(self._cum[k - 1])
+        return self._generalized_harmonic(k, self.z) / self._harmonic
+
+    def eq_selectivity(self, rank: int) -> float:
+        rank = int(min(max(rank, 0), self.n_values - 1))
+        if self._exact:
+            return float(self._freqs[rank])
+        harmonic = self._harmonic
+        return float((rank + 1) ** (-self.z) / harmonic)
+
+    def range_selectivity(self, fraction: float, anchor: str = "head") -> float:
+        fraction = self._clip_fraction(fraction)
+        k = int(round(fraction * self.n_values))
+        if anchor == "head":
+            selectivity = self._cumulative(k)
+        elif anchor == "tail":
+            selectivity = 1.0 - self._cumulative(self.n_values - k)
+        else:
+            raise ValueError(f"anchor must be 'head' or 'tail', got {anchor!r}")
+        return min(max(selectivity, 0.0), 1.0)
+
+    def skew_coefficient(self) -> float:
+        return self.z
+
+    def sample_rank(self, rng: np.random.Generator) -> int:
+        u = float(rng.random())
+        if self._exact:
+            return int(np.searchsorted(self._cum, u, side="left"))
+        # Inverse-CDF search on the analytic cumulative curve.
+        lo, hi = 1, self.n_values
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative(mid) < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo - 1
+
+
+class NormalDistribution(Distribution):
+    """Discretised (truncated) normal distribution over the value domain.
+
+    Used by the "real" workload schemas where numeric measures cluster
+    around a mean rather than following a power law.
+    """
+
+    def __init__(self, n_values: int, relative_std: float = 0.2) -> None:
+        super().__init__(n_values)
+        if relative_std <= 0:
+            raise ValueError("relative_std must be positive")
+        self.relative_std = float(relative_std)
+        # Discretise a normal bell over the ranks; centre mass at rank 0 so
+        # "head" ranges behave like the Zipf case (most selective values
+        # first).
+        ranks = np.arange(self.n_values, dtype=np.float64)
+        std = max(self.relative_std * self.n_values, 1.0)
+        weights = np.exp(-0.5 * (ranks / std) ** 2)
+        self._freqs = weights / weights.sum()
+        self._cum = np.cumsum(self._freqs)
+
+    def eq_selectivity(self, rank: int) -> float:
+        rank = int(min(max(rank, 0), self.n_values - 1))
+        return float(self._freqs[rank])
+
+    def range_selectivity(self, fraction: float, anchor: str = "head") -> float:
+        fraction = self._clip_fraction(fraction)
+        k = int(round(fraction * self.n_values))
+        if k <= 0:
+            return 0.0
+        if anchor == "head":
+            return float(self._cum[min(k, self.n_values) - 1])
+        if anchor == "tail":
+            covered = self.n_values - k
+            if covered <= 0:
+                return 1.0
+            return float(1.0 - self._cum[covered - 1])
+        raise ValueError(f"anchor must be 'head' or 'tail', got {anchor!r}")
+
+    def skew_coefficient(self) -> float:
+        # A rough comparable scalar: ratio of the modal frequency to uniform.
+        return float(self._freqs[0] * self.n_values - 1.0)
+
+    def sample_rank(self, rng: np.random.Generator) -> int:
+        u = float(rng.random())
+        return int(np.searchsorted(self._cum, u, side="left"))
+
+
+@dataclass(frozen=True)
+class _DistributionSpec:
+    kind: str
+    n_values: int
+    param: float
+
+
+def make_distribution(kind: str, n_values: int, param: float = 0.0) -> Distribution:
+    """Factory used by schema builders.
+
+    Parameters
+    ----------
+    kind:
+        ``"uniform"``, ``"zipf"`` or ``"normal"``.
+    n_values:
+        Number of distinct values in the column.
+    param:
+        Zipf exponent for ``"zipf"``, relative standard deviation for
+        ``"normal"``; ignored for ``"uniform"``.
+    """
+    kind = kind.lower()
+    if kind == "uniform":
+        return UniformDistribution(n_values)
+    if kind == "zipf":
+        if param <= 0:
+            return UniformDistribution(n_values)
+        return ZipfDistribution(n_values, param)
+    if kind == "normal":
+        return NormalDistribution(n_values, param if param > 0 else 0.2)
+    raise ValueError(f"unknown distribution kind: {kind!r}")

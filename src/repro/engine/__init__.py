@@ -1,0 +1,24 @@
+"""Execution engine simulator.
+
+This subpackage plays the role of "Microsoft SQL Server running on the
+paper's testbed": given an annotated physical plan it produces the *actual*
+CPU time (in microseconds) and the number of *logical I/O* operations of
+every operator, pipeline and query.  The resource functions are non-linear
+and operator-specific (n·log n sorts with multi-pass spills, per-tuple and
+per-column hash costs, index-depth driven seeks, batched nested-loop
+lookups) and include multiplicative measurement noise, so that learning the
+mapping from plan features to resources is a non-trivial statistical
+problem — just as it is on a real engine.
+"""
+
+from repro.engine.executor import ExecutionResult, OperatorObservation, QueryExecutor
+from repro.engine.hardware import HardwareProfile
+from repro.engine.resource_model import ResourceModel
+
+__all__ = [
+    "ExecutionResult",
+    "OperatorObservation",
+    "QueryExecutor",
+    "HardwareProfile",
+    "ResourceModel",
+]

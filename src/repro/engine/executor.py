@@ -1,0 +1,146 @@
+"""Plan "execution": turning annotated plans into resource observations.
+
+The :class:`QueryExecutor` walks a physical plan bottom-up, evaluates the
+ground-truth resource model for every operator on its *true* cardinalities,
+applies multiplicative measurement noise, and returns an
+:class:`ExecutionResult` holding per-operator, per-pipeline and per-query
+actual CPU time and logical I/O.  These observations are the training and
+test labels for every statistical model in the library — the role played by
+instrumented query executions on SQL Server in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.rng import make_rng
+from repro.engine.hardware import HardwareProfile
+from repro.engine.resource_model import ResourceModel
+from repro.plan.operators import PlanOperator
+from repro.plan.plan import QueryPlan
+
+__all__ = ["OperatorObservation", "ExecutionResult", "QueryExecutor"]
+
+
+@dataclass(frozen=True)
+class OperatorObservation:
+    """Observed execution metrics for one operator instance."""
+
+    operator: PlanOperator
+    actual_cpu_us: float
+    actual_logical_io: float
+    pipeline: int
+
+    @property
+    def node_id(self) -> int:
+        return self.operator.node_id
+
+    def resource(self, resource: str) -> float:
+        """Observed value of ``resource`` (``"cpu"`` or ``"io"``)."""
+        if resource == "cpu":
+            return self.actual_cpu_us
+        if resource == "io":
+            return self.actual_logical_io
+        raise ValueError(f"unknown resource {resource!r}")
+
+
+@dataclass
+class ExecutionResult:
+    """Full execution feedback for one query plan."""
+
+    plan: QueryPlan
+    observations: list[OperatorObservation] = field(default_factory=list)
+
+    # -- totals ------------------------------------------------------------------------
+    @property
+    def total_cpu_us(self) -> float:
+        return float(sum(obs.actual_cpu_us for obs in self.observations))
+
+    @property
+    def total_logical_io(self) -> float:
+        return float(sum(obs.actual_logical_io for obs in self.observations))
+
+    def total(self, resource: str) -> float:
+        """Query-level total of ``resource`` (``"cpu"`` or ``"io"``)."""
+        return float(sum(obs.resource(resource) for obs in self.observations))
+
+    # -- finer granularities -----------------------------------------------------------
+    def by_operator(self) -> dict[int, OperatorObservation]:
+        return {obs.node_id: obs for obs in self.observations}
+
+    def pipeline_totals(self, resource: str) -> dict[int, float]:
+        """Per-pipeline totals of ``resource``, keyed by pipeline index."""
+        totals: dict[int, float] = {}
+        for obs in self.observations:
+            totals[obs.pipeline] = totals.get(obs.pipeline, 0.0) + obs.resource(resource)
+        return totals
+
+    def observation_for(self, operator: PlanOperator) -> OperatorObservation:
+        for obs in self.observations:
+            if obs.node_id == operator.node_id:
+                return obs
+        raise KeyError(f"no observation for operator {operator.node_id}")
+
+
+class QueryExecutor:
+    """Simulates plan execution and records resource observations."""
+
+    def __init__(
+        self,
+        hardware: HardwareProfile | None = None,
+        resource_model: ResourceModel | None = None,
+        noise: bool = True,
+    ) -> None:
+        self.hardware = hardware or HardwareProfile()
+        self.resource_model = resource_model or ResourceModel(self.hardware)
+        self.noise = noise
+
+    def execute(self, plan: QueryPlan, seed: int | None = None) -> ExecutionResult:
+        """Execute ``plan`` and return its resource observations.
+
+        The noise stream is derived from the query name (plus ``seed``), so
+        repeated executions of the same plan observe the same values unless
+        a different seed is supplied — convenient for reproducible datasets.
+        """
+        rng = self._noise_rng(plan, seed)
+        pipeline_index = self._pipeline_index(plan)
+        observations: list[OperatorObservation] = []
+        for op in plan.operators_postorder():
+            resources = self.resource_model.operator_resources(op)
+            cpu = resources.cpu_us * self._noise_factor(rng)
+            io = resources.logical_io
+            if io > 0:
+                # Logical I/O counts are nearly deterministic on a real
+                # system; keep a tiny jitter to avoid exact ties.
+                io = io * self._noise_factor(rng, scale=0.25)
+            observations.append(
+                OperatorObservation(
+                    operator=op,
+                    actual_cpu_us=float(cpu),
+                    actual_logical_io=float(io),
+                    pipeline=pipeline_index[op.node_id],
+                )
+            )
+        return ExecutionResult(plan=plan, observations=observations)
+
+    # -- helpers ------------------------------------------------------------------------
+    def _noise_rng(self, plan: QueryPlan, seed: int | None) -> np.random.Generator:
+        return make_rng(self.hardware.noise_seed, "execution", plan.query.name, seed or 0)
+
+    def _noise_factor(self, rng: np.random.Generator, scale: float = 1.0) -> float:
+        if not self.noise:
+            return 1.0
+        sigma = self.hardware.noise_sigma * scale
+        if sigma <= 0:
+            return 1.0
+        return float(np.exp(rng.normal(0.0, sigma)))
+
+    @staticmethod
+    def _pipeline_index(plan: QueryPlan) -> dict[int, int]:
+        index: dict[int, int] = {}
+        for pipeline in plan.pipelines():
+            for op in pipeline.operators:
+                index[op.node_id] = pipeline.index
+        return index

@@ -1,0 +1,48 @@
+"""Hardware / runtime profile of the simulated database server.
+
+The constants loosely correspond to a mid-2000s commodity server (the paper
+used a 3.16 GHz dual-core machine with 8 GB of RAM).  They are *not* meant
+to be calibrated against any particular hardware: the statistical models
+only ever see the resulting resource observations, so what matters is that
+the constants induce realistic relative magnitudes and non-linearities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HardwareProfile"]
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Per-operation CPU costs (microseconds) and memory limits of the server."""
+
+    #: Base CPU cost of pushing one tuple through an operator boundary.
+    cpu_per_tuple_us: float = 0.12
+    #: CPU cost per byte of tuple data touched (copy / materialisation cost).
+    cpu_per_byte_us: float = 0.0009
+    #: CPU cost of evaluating one predicate comparison.
+    cpu_per_comparison_us: float = 0.045
+    #: CPU cost of one hash operation on a single column.
+    cpu_per_hash_op_us: float = 0.09
+    #: CPU cost of one key comparison inside a sort.
+    cpu_per_sort_compare_us: float = 0.055
+    #: CPU cost of navigating one B-tree level during a seek.
+    cpu_per_index_level_us: float = 0.8
+    #: CPU cost of one aggregate-function update.
+    cpu_per_aggregate_us: float = 0.03
+    #: CPU cost associated with issuing one logical page read.
+    cpu_per_page_us: float = 1.4
+    #: Fixed per-operator startup CPU cost.
+    operator_startup_us: float = 35.0
+    #: Memory grant available to a single sort or hash operation, in bytes.
+    memory_grant_bytes: float = 96.0 * 1024 * 1024
+    #: Relative standard deviation of multiplicative measurement noise.
+    noise_sigma: float = 0.04
+    #: Seed namespace for the execution noise stream.
+    noise_seed: int = 20120827
+
+    def grant_pages(self, page_size: int = 8192) -> float:
+        """Memory grant expressed in pages."""
+        return self.memory_grant_bytes / float(page_size)

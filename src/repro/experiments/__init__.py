@@ -1,0 +1,21 @@
+"""Experiment harness: one runner per table and figure of the paper.
+
+Every runner returns a structured result object with a ``render()`` method,
+so the same code path serves the benchmark suite (``benchmarks/``), the
+EXPERIMENTS.md generation and ad-hoc exploration.  The experiment registry
+(:mod:`repro.experiments.registry`) maps paper table/figure identifiers to
+runner callables.
+"""
+
+from repro.experiments.config import ExperimentConfig, get_config
+from repro.experiments.harness import ExperimentResult, evaluate_techniques
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "get_config",
+    "ExperimentResult",
+    "evaluate_techniques",
+    "EXPERIMENTS",
+    "run_experiment",
+]

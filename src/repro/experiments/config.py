@@ -1,0 +1,196 @@
+"""Experiment configuration, profiles and the shared workload cache.
+
+Two profiles are provided:
+
+* ``fast`` (default) — workload sizes and model capacities scaled down so
+  the full table/figure suite finishes in minutes on a laptop;
+* ``paper`` — sizes close to the paper's setup (>2500 TPC-H queries over six
+  scale factors, >100 TPC-DS queries, 222 / 887 real-workload queries, MART
+  with 1000 boosting iterations).  Select it with ``REPRO_PROFILE=paper``.
+
+Workloads are expensive to build relative to everything except model
+training, and several experiments share them, so built workloads are cached
+per (profile, workload) in this module.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.ml.mart import MARTConfig
+from repro.workloads.real import build_real1_workload, build_real2_workload
+from repro.workloads.runner import ObservedWorkload
+from repro.workloads.tpch import build_tpch_workload
+from repro.workloads.tpcds import build_tpcds_workload
+
+__all__ = ["ExperimentConfig", "get_config", "clear_workload_cache"]
+
+#: Environment variable selecting the experiment profile.
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All knobs of the experiment suite."""
+
+    profile: str
+    #: (scale factor, #queries) pairs making up the TPC-H training workload.
+    tpch_scales: tuple[tuple[float, int], ...]
+    #: Scale factors considered "small" / "large" for the data-size
+    #: generalisation experiments (Tables 5, 8, 11 and Figures 3/6).
+    small_scale_limit: float
+    tpch_skew: float
+    tpcds_queries: int
+    real1_queries: int
+    real2_queries: int
+    mart: MARTConfig
+    train_fraction: float = 0.8
+    seed: int = 42
+    #: Training-set sizes (number of examples) for the Table 13 timing sweep.
+    training_time_sizes: tuple[int, ...] = (5_000, 10_000, 20_000, 40_000)
+    #: Boosting iterations used in the Table 13 timing sweep.
+    training_time_iterations: int = 100
+
+    @property
+    def is_paper_profile(self) -> bool:
+        return self.profile == "paper"
+
+
+_FAST = ExperimentConfig(
+    profile="fast",
+    tpch_scales=((0.05, 36), (0.1, 36), (0.2, 36), (0.4, 36)),
+    small_scale_limit=0.1,
+    tpch_skew=1.5,
+    tpcds_queries=72,
+    real1_queries=96,
+    real2_queries=96,
+    mart=MARTConfig(n_iterations=150, max_leaves=10, learning_rate=0.12, subsample=0.8),
+    training_time_sizes=(5_000, 10_000, 20_000, 40_000),
+    training_time_iterations=100,
+)
+
+_PAPER = ExperimentConfig(
+    profile="paper",
+    tpch_scales=(
+        (1.0, 430),
+        (2.0, 430),
+        (4.0, 430),
+        (6.0, 430),
+        (8.0, 430),
+        (10.0, 430),
+    ),
+    small_scale_limit=4.0,
+    tpch_skew=2.0,
+    tpcds_queries=100,
+    real1_queries=222,
+    real2_queries=887,
+    mart=MARTConfig(n_iterations=1000, max_leaves=10, learning_rate=0.1, subsample=0.7),
+    training_time_sizes=(5_000, 10_000, 20_000, 40_000, 80_000, 160_000),
+    training_time_iterations=1000,
+)
+
+
+def get_config(profile: str | None = None) -> ExperimentConfig:
+    """The experiment configuration for ``profile`` (or the env default)."""
+    if profile is None:
+        profile = os.environ.get(PROFILE_ENV_VAR, "fast").lower()
+    if profile == "fast":
+        return _FAST
+    if profile == "paper":
+        return _PAPER
+    raise ValueError(f"unknown experiment profile {profile!r} (use 'fast' or 'paper')")
+
+
+# ---------------------------------------------------------------------------
+# Workload cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _WorkloadCache:
+    entries: dict[tuple[str, str], ObservedWorkload] = field(default_factory=dict)
+
+
+_CACHE = _WorkloadCache()
+
+
+def clear_workload_cache() -> None:
+    """Drop every cached workload (mainly for tests)."""
+    _CACHE.entries.clear()
+
+
+def _cached(config: ExperimentConfig, key: str, builder) -> ObservedWorkload:
+    cache_key = (config.profile, key)
+    if cache_key not in _CACHE.entries:
+        _CACHE.entries[cache_key] = builder()
+    return _CACHE.entries[cache_key]
+
+
+def tpch_workload(config: ExperimentConfig) -> ObservedWorkload:
+    """The multi-scale TPC-H workload (training set of every experiment)."""
+
+    def build() -> ObservedWorkload:
+        merged: ObservedWorkload | None = None
+        for i, (scale_factor, n_queries) in enumerate(config.tpch_scales):
+            workload = build_tpch_workload(
+                scale_factor=scale_factor,
+                skew_z=config.tpch_skew,
+                n_queries=n_queries,
+                seed=config.seed + i,
+            )
+            if merged is None:
+                merged = ObservedWorkload(name="tpch", catalog=workload.catalog)
+            merged.extend(workload)
+        assert merged is not None
+        return merged
+
+    return _cached(config, "tpch", build)
+
+
+def tpch_small_large(config: ExperimentConfig) -> tuple[list, list]:
+    """(small-scale queries, large-scale queries) partition of the TPC-H workload.
+
+    The merged multi-scale workload loses per-query catalog identity, so the
+    partition keys off the largest base-table cardinality referenced by each
+    plan (which is proportional to the scale factor the query ran against).
+    """
+    workload = tpch_workload(config)
+    small, large = [], []
+    threshold_rows = 6_000_000 * config.small_scale_limit
+    for query in workload.queries:
+        max_table_rows = max(
+            (float(op.props.get("table_rows", 0.0)) for op in query.plan.operators()),
+            default=0.0,
+        )
+        if max_table_rows <= threshold_rows * 1.01:
+            small.append(query)
+        else:
+            large.append(query)
+    return small, large
+
+
+def tpcds_workload(config: ExperimentConfig) -> ObservedWorkload:
+    scale = 10.0 if config.is_paper_profile else 0.5
+    return _cached(
+        config,
+        "tpcds",
+        lambda: build_tpcds_workload(
+            scale_factor=scale, n_queries=config.tpcds_queries, seed=config.seed + 100
+        ),
+    )
+
+
+def real1_workload(config: ExperimentConfig) -> ObservedWorkload:
+    return _cached(
+        config,
+        "real1",
+        lambda: build_real1_workload(n_queries=config.real1_queries, seed=config.seed + 200),
+    )
+
+
+def real2_workload(config: ExperimentConfig) -> ObservedWorkload:
+    return _cached(
+        config,
+        "real2",
+        lambda: build_real2_workload(n_queries=config.real2_queries, seed=config.seed + 300),
+    )

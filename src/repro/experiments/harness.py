@@ -1,0 +1,98 @@
+"""Shared evaluation harness: fit techniques once, evaluate on test sets.
+
+The paper evaluates each technique on query-level totals with two error
+metrics (L1 relative error and ratio-error buckets).  The harness fits each
+technique on a named training set and caches the fitted technique, because
+several tables share the same training configuration (e.g. Table 4 and
+Table 6 both train on the TPC-H workload with exact features).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import BaselineEstimator
+from repro.features.definitions import FeatureMode
+from repro.ml.metrics import ErrorSummary
+from repro.workloads.runner import ObservedQuery
+
+__all__ = ["ExperimentResult", "TechniqueCache", "evaluate_techniques", "clear_technique_cache"]
+
+
+@dataclass
+class ExperimentResult:
+    """Evaluation of one technique on one test set."""
+
+    technique: str
+    test_set: str
+    resource: str
+    mode: FeatureMode
+    summary: ErrorSummary
+    estimates: np.ndarray
+    actuals: np.ndarray
+
+    def as_row(self) -> dict[str, object]:
+        row: dict[str, object] = {"Technique": self.technique, "Test Set": self.test_set}
+        row.update(self.summary.as_row())
+        return row
+
+
+@dataclass
+class TechniqueCache:
+    """Cache of fitted techniques keyed by (technique, train set, resource, mode)."""
+
+    entries: dict[tuple[str, str, str, str], BaselineEstimator] = field(default_factory=dict)
+
+    def get_or_fit(
+        self,
+        technique: BaselineEstimator,
+        train_name: str,
+        train_queries: list[ObservedQuery],
+        resource: str,
+        mode: FeatureMode,
+    ) -> BaselineEstimator:
+        key = (technique.name, train_name, resource, mode.value)
+        if key not in self.entries:
+            self.entries[key] = technique.fit(train_queries, resource, mode)
+        return self.entries[key]
+
+
+_GLOBAL_CACHE = TechniqueCache()
+
+
+def clear_technique_cache() -> None:
+    """Drop every fitted technique (mainly for tests)."""
+    _GLOBAL_CACHE.entries.clear()
+
+
+def evaluate_techniques(
+    techniques: list[BaselineEstimator],
+    train_queries: list[ObservedQuery],
+    test_sets: dict[str, list[ObservedQuery]],
+    resource: str,
+    mode: FeatureMode,
+    train_name: str,
+    cache: TechniqueCache | None = None,
+) -> list[ExperimentResult]:
+    """Fit every technique on the training queries and evaluate on each test set."""
+    cache = cache or _GLOBAL_CACHE
+    results: list[ExperimentResult] = []
+    for technique in techniques:
+        fitted = cache.get_or_fit(technique, train_name, train_queries, resource, mode)
+        for test_name, test_queries in test_sets.items():
+            estimates = fitted.predict_queries(test_queries)
+            actuals = np.array([q.actual(resource) for q in test_queries], dtype=np.float64)
+            results.append(
+                ExperimentResult(
+                    technique=fitted.name,
+                    test_set=test_name,
+                    resource=resource,
+                    mode=mode,
+                    summary=ErrorSummary.from_predictions(estimates, actuals),
+                    estimates=estimates,
+                    actuals=actuals,
+                )
+            )
+    return results

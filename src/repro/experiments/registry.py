@@ -1,0 +1,41 @@
+"""Registry mapping paper experiment identifiers to runner callables."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import figures, overhead, tables_cpu, tables_io
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+#: experiment id -> callable(config) -> ResultTable | ResultSeries
+EXPERIMENTS: dict[str, Callable] = {
+    "figure_1": figures.figure_1,
+    "figure_2": figures.figure_2,
+    "figure_3": figures.figure_3,
+    "figure_6": figures.figure_6,
+    "figure_7": figures.figure_7,
+    "figure_8": figures.figure_8,
+    "table_4": tables_cpu.table_4,
+    "table_5": tables_cpu.table_5,
+    "table_6": tables_cpu.table_6,
+    "table_7": tables_cpu.table_7,
+    "table_8": tables_cpu.table_8,
+    "table_9": tables_cpu.table_9,
+    "table_10": tables_io.table_10,
+    "table_11": tables_io.table_11,
+    "table_12": tables_io.table_12,
+    "table_13": overhead.table_13,
+    "prediction_cost": overhead.prediction_cost,
+    "model_memory": overhead.model_memory,
+}
+
+
+def run_experiment(experiment_id: str, config=None):
+    """Run a registered experiment by identifier and return its result object."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+    return runner(config)

@@ -1,0 +1,83 @@
+"""Result containers and plain-text rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ResultTable", "ResultSeries"]
+
+
+@dataclass
+class ResultTable:
+    """A rows-and-columns result (the paper's tables).
+
+    ``rows`` is a list of dictionaries sharing the same keys; ``reference``
+    optionally holds the values the paper reports for the same cells, keyed
+    the same way, so EXPERIMENTS.md can show paper-vs-measured side by side.
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+    reference: list[dict[str, object]] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(values)
+
+    def render(self) -> str:
+        """Fixed-width text rendering of the table."""
+        widths = {col: len(col) for col in self.columns}
+        for row in self.rows:
+            for col in self.columns:
+                widths[col] = max(widths[col], len(_fmt(row.get(col, ""))))
+        header = "  ".join(col.ljust(widths[col]) for col in self.columns)
+        divider = "  ".join("-" * widths[col] for col in self.columns)
+        lines = [f"{self.experiment_id}: {self.title}", header, divider]
+        for row in self.rows:
+            lines.append("  ".join(_fmt(row.get(col, "")).ljust(widths[col]) for col in self.columns))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ResultSeries:
+    """A scatter/series result (the paper's figures).
+
+    ``series`` maps a series label to a list of (x, y) points; summary
+    statistics relevant to the figure's claim are stored in ``summary``.
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    summary: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_point(self, series_name: str, x: float, y: float) -> None:
+        self.series.setdefault(series_name, []).append((float(x), float(y)))
+
+    def render(self, max_points: int = 8) -> str:
+        lines = [f"{self.experiment_id}: {self.title}", f"x={self.x_label}  y={self.y_label}"]
+        for name, points in self.series.items():
+            lines.append(f"  series {name!r}: {len(points)} points")
+            shown = points[:max_points]
+            lines.extend(f"    ({x:.4g}, {y:.4g})" for x, y in shown)
+            if len(points) > max_points:
+                lines.append(f"    ... ({len(points) - max_points} more)")
+        if self.summary:
+            lines.append("summary:")
+            lines.extend(f"  {key} = {value:.4g}" for key, value in self.summary.items())
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

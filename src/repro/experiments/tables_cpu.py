@@ -1,0 +1,183 @@
+"""CPU-time estimation experiments (paper Tables 4-9).
+
+Three experiment designs, each run once with exact input features
+(Tables 4-6) and once with optimizer-estimated features (Tables 7-9, which
+additionally include the OPT baseline):
+
+* train and test on disjoint TPC-H queries (Tables 4 / 7);
+* train on TPC-H queries over small databases and test on large ones, and
+  vice versa (Tables 5 / 8);
+* train on TPC-H and test on completely different workloads — TPC-DS,
+  Real-1, Real-2 (Tables 6 / 9).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import standard_techniques
+from repro.baselines.base import BaselineEstimator
+from repro.experiments import config as cfg
+from repro.experiments.config import ExperimentConfig, get_config
+from repro.experiments.harness import evaluate_techniques
+from repro.experiments.reporting import ResultTable
+from repro.features.definitions import FeatureMode
+from repro.workloads.datasets import split_workload
+
+__all__ = ["table_4", "table_5", "table_6", "table_7", "table_8", "table_9"]
+
+_CPU_COLUMNS = ["Technique", "Test Set", "L1", "R<=1.5", "R in [1.5,2]", "R>2"]
+
+
+def _techniques(config: ExperimentConfig, include_opt: bool) -> list[BaselineEstimator]:
+    techniques = standard_techniques(
+        fast=not config.is_paper_profile, mart_config=config.mart
+    )
+    if not include_opt:
+        techniques = [t for t in techniques if t.name != "OPT"]
+    return techniques
+
+
+def _tpch_split(config: ExperimentConfig):
+    workload = cfg.tpch_workload(config)
+    return split_workload(workload, config.train_fraction, seed=config.seed)
+
+
+def _same_workload_table(
+    experiment_id: str,
+    title: str,
+    mode: FeatureMode,
+    include_opt: bool,
+    config: ExperimentConfig | None,
+) -> ResultTable:
+    config = config or get_config()
+    train, test = _tpch_split(config)
+    results = evaluate_techniques(
+        _techniques(config, include_opt),
+        train,
+        {"TPC-H": test},
+        resource="cpu",
+        mode=mode,
+        train_name=f"tpch80-{mode.value}",
+    )
+    table = ResultTable(experiment_id=experiment_id, title=title, columns=_CPU_COLUMNS)
+    for result in results:
+        table.add_row(**result.as_row())
+    return table
+
+
+def _data_size_table(
+    experiment_id: str,
+    title: str,
+    mode: FeatureMode,
+    include_opt: bool,
+    config: ExperimentConfig | None,
+) -> ResultTable:
+    config = config or get_config()
+    small, large = cfg.tpch_small_large(config)
+    techniques = _techniques(config, include_opt)
+    table = ResultTable(experiment_id=experiment_id, title=title, columns=_CPU_COLUMNS)
+    # Train small -> test large.
+    for result in evaluate_techniques(
+        techniques, small, {"Large": large}, "cpu", mode, train_name=f"tpch-small-{mode.value}"
+    ):
+        table.add_row(**result.as_row())
+    # Train large -> test small.
+    for result in evaluate_techniques(
+        techniques, large, {"Small": small}, "cpu", mode, train_name=f"tpch-large-{mode.value}"
+    ):
+        table.add_row(**result.as_row())
+    return table
+
+
+def _cross_workload_table(
+    experiment_id: str,
+    title: str,
+    mode: FeatureMode,
+    include_opt: bool,
+    config: ExperimentConfig | None,
+) -> ResultTable:
+    config = config or get_config()
+    train, _ = _tpch_split(config)
+    test_sets = {
+        "TPC-DS": cfg.tpcds_workload(config).queries,
+        "Real-1": cfg.real1_workload(config).queries,
+        "Real-2": cfg.real2_workload(config).queries,
+    }
+    results = evaluate_techniques(
+        _techniques(config, include_opt),
+        train,
+        test_sets,
+        resource="cpu",
+        mode=mode,
+        train_name=f"tpch80-{mode.value}",
+    )
+    table = ResultTable(experiment_id=experiment_id, title=title, columns=_CPU_COLUMNS)
+    # Group rows by test set first (matching the paper's layout).
+    for test_name in test_sets:
+        for result in results:
+            if result.test_set == test_name:
+                table.add_row(**result.as_row())
+    return table
+
+
+# -- public runners ---------------------------------------------------------------------------
+
+def table_4(config: ExperimentConfig | None = None) -> ResultTable:
+    """Table 4: training and testing on TPC-H (exact features, CPU time)."""
+    return _same_workload_table(
+        "Table 4", "Training and testing on TPC-H (exact features)", FeatureMode.EXACT, False, config
+    )
+
+
+def table_5(config: ExperimentConfig | None = None) -> ResultTable:
+    """Table 5: different data sizes between training and test (exact features)."""
+    return _data_size_table(
+        "Table 5",
+        "Training on TPC-H, testing with different data distributions (exact features)",
+        FeatureMode.EXACT,
+        False,
+        config,
+    )
+
+
+def table_6(config: ExperimentConfig | None = None) -> ResultTable:
+    """Table 6: training on TPC-H, testing on different workloads (exact features)."""
+    return _cross_workload_table(
+        "Table 6",
+        "Training on TPC-H, testing on different workloads/data (exact features)",
+        FeatureMode.EXACT,
+        False,
+        config,
+    )
+
+
+def table_7(config: ExperimentConfig | None = None) -> ResultTable:
+    """Table 7: training and testing on TPC-H (optimizer-estimated features)."""
+    return _same_workload_table(
+        "Table 7",
+        "Training and testing on TPC-H (optimizer-estimated features)",
+        FeatureMode.ESTIMATED,
+        True,
+        config,
+    )
+
+
+def table_8(config: ExperimentConfig | None = None) -> ResultTable:
+    """Table 8: different data sizes (optimizer-estimated features)."""
+    return _data_size_table(
+        "Table 8",
+        "Training on TPC-H, testing with different data distributions (estimated features)",
+        FeatureMode.ESTIMATED,
+        True,
+        config,
+    )
+
+
+def table_9(config: ExperimentConfig | None = None) -> ResultTable:
+    """Table 9: cross-workload generalisation (optimizer-estimated features)."""
+    return _cross_workload_table(
+        "Table 9",
+        "Training on TPC-H, testing on different workloads/data (estimated features)",
+        FeatureMode.ESTIMATED,
+        True,
+        config,
+    )

@@ -1,0 +1,111 @@
+"""Logical-I/O estimation experiments (paper Tables 10-12).
+
+The paper evaluates I/O prediction with optimizer-estimated feature values
+only, and reports the four best-performing models: the operator-level model
+of [8], LINEAR, SVM with the RBF kernel, and SCALING.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    AkdereOperatorBaseline,
+    LinearBaseline,
+    ScalingTechnique,
+    SVMBaseline,
+)
+from repro.baselines.base import BaselineEstimator
+from repro.core.trainer import TrainerConfig
+from repro.experiments import config as cfg
+from repro.experiments.config import ExperimentConfig, get_config
+from repro.experiments.harness import evaluate_techniques
+from repro.experiments.reporting import ResultTable
+from repro.features.definitions import FeatureMode
+from repro.workloads.datasets import split_workload
+
+__all__ = ["table_10", "table_11", "table_12"]
+
+_IO_COLUMNS = ["Technique", "Test Set", "L1", "R<=1.5", "R in [1.5,2]", "R>2"]
+
+
+def _io_techniques(config: ExperimentConfig) -> list[BaselineEstimator]:
+    """The four techniques the paper reports for I/O estimation."""
+    return [
+        AkdereOperatorBaseline(),
+        LinearBaseline(),
+        SVMBaseline(kernel="rbf", gamma=0.05),
+        ScalingTechnique(trainer_config=TrainerConfig(mart=config.mart)),
+    ]
+
+
+def table_10(config: ExperimentConfig | None = None) -> ResultTable:
+    """Table 10: training and testing on TPC-H (logical I/O)."""
+    config = config or get_config()
+    workload = cfg.tpch_workload(config)
+    train, test = split_workload(workload, config.train_fraction, seed=config.seed)
+    results = evaluate_techniques(
+        _io_techniques(config),
+        train,
+        {"TPC-H": test},
+        resource="io",
+        mode=FeatureMode.ESTIMATED,
+        train_name="tpch80-io",
+    )
+    table = ResultTable(
+        experiment_id="Table 10",
+        title="Training and testing on TPC-H (I/O operations)",
+        columns=_IO_COLUMNS,
+    )
+    for result in results:
+        table.add_row(**result.as_row())
+    return table
+
+
+def table_11(config: ExperimentConfig | None = None) -> ResultTable:
+    """Table 11: different data sizes between training and test (logical I/O)."""
+    config = config or get_config()
+    small, large = cfg.tpch_small_large(config)
+    techniques = _io_techniques(config)
+    table = ResultTable(
+        experiment_id="Table 11",
+        title="Training on TPC-H, testing with different data distributions (I/O operations)",
+        columns=_IO_COLUMNS,
+    )
+    for result in evaluate_techniques(
+        techniques, small, {"Large": large}, "io", FeatureMode.ESTIMATED, "tpch-small-io"
+    ):
+        table.add_row(**result.as_row())
+    for result in evaluate_techniques(
+        techniques, large, {"Small": small}, "io", FeatureMode.ESTIMATED, "tpch-large-io"
+    ):
+        table.add_row(**result.as_row())
+    return table
+
+
+def table_12(config: ExperimentConfig | None = None) -> ResultTable:
+    """Table 12: cross-workload generalisation (logical I/O)."""
+    config = config or get_config()
+    workload = cfg.tpch_workload(config)
+    train, _ = split_workload(workload, config.train_fraction, seed=config.seed)
+    test_sets = {
+        "TPC-DS": cfg.tpcds_workload(config).queries,
+        "Real-1": cfg.real1_workload(config).queries,
+        "Real-2": cfg.real2_workload(config).queries,
+    }
+    results = evaluate_techniques(
+        _io_techniques(config),
+        train,
+        test_sets,
+        resource="io",
+        mode=FeatureMode.ESTIMATED,
+        train_name="tpch80-io",
+    )
+    table = ResultTable(
+        experiment_id="Table 12",
+        title="Training on TPC-H, testing on different workloads/data (I/O operations)",
+        columns=_IO_COLUMNS,
+    )
+    for test_name in test_sets:
+        for result in results:
+            if result.test_set == test_name:
+                table.add_row(**result.as_row())
+    return table

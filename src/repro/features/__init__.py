@@ -1,0 +1,36 @@
+"""Feature modelling of SQL operators (paper Section 5).
+
+Queries are modelled at the level of individual physical operators.  Each
+operator instance is described by the *global* features of Table 1 (input /
+output cardinalities, widths, byte counts, parent-operator usage) and the
+*operator-specific* features of Table 2 (table size, pages, index depth,
+hash / join / sort column counts, ...).  Feature values can be computed from
+either exact cardinalities or the optimizer's estimates, which is the axis
+the paper's two experiment families (Tables 4–6 vs 7–9) vary.
+"""
+
+from repro.features.definitions import (
+    FeatureMode,
+    GLOBAL_FEATURES,
+    OPERATOR_FAMILIES,
+    OperatorFamily,
+    features_for_family,
+    operator_family,
+    scalable_features,
+)
+from repro.features.dependencies import FEATURE_DEPENDENCIES, dependent_features
+from repro.features.extractor import FeatureExtractor, OperatorFeatures
+
+__all__ = [
+    "FeatureMode",
+    "GLOBAL_FEATURES",
+    "OPERATOR_FAMILIES",
+    "OperatorFamily",
+    "features_for_family",
+    "operator_family",
+    "scalable_features",
+    "FEATURE_DEPENDENCIES",
+    "dependent_features",
+    "FeatureExtractor",
+    "OperatorFeatures",
+]

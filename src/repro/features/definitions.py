@@ -1,0 +1,141 @@
+"""Feature and operator-family definitions (paper Tables 1 and 2).
+
+Feature names follow the paper.  Features that exist "once per child" in the
+paper (CIN, SINAVG, SINTOT) are suffixed with the child index (``CIN1``,
+``CIN2``, ...), since joins have two inputs and all other operators have at
+most one.
+
+Operators are grouped into *families*; one set of models is trained per
+(family, resource) pair, exactly as the paper trains one model per physical
+operator type.  Table Scan and Index Scan share a family (both are full
+scans of a base structure); every other operator type has its own family.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.plan.operators import OperatorType
+
+__all__ = [
+    "FeatureMode",
+    "OperatorFamily",
+    "GLOBAL_FEATURES",
+    "OPERATOR_SPECIFIC_FEATURES",
+    "OPERATOR_FAMILIES",
+    "operator_family",
+    "features_for_family",
+    "scalable_features",
+    "NON_SCALING_FEATURES",
+]
+
+
+class FeatureMode(enum.Enum):
+    """Whether cardinality-derived features use exact values or estimates."""
+
+    EXACT = "exact"
+    ESTIMATED = "estimated"
+
+
+class OperatorFamily(enum.Enum):
+    """Model families: one collection of models is trained per family."""
+
+    SCAN = "Scan"
+    SEEK = "Seek"
+    FILTER = "Filter"
+    COMPUTE_SCALAR = "Compute Scalar"
+    SORT = "Sort"
+    TOP = "Top"
+    HASH_JOIN = "Hash Join"
+    MERGE_JOIN = "Merge Join"
+    NESTED_LOOP_JOIN = "Nested Loop Join"
+    HASH_AGGREGATE = "Hash Aggregate"
+    STREAM_AGGREGATE = "Stream Aggregate"
+
+
+#: Global features (paper Table 1), shared by every operator family.
+GLOBAL_FEATURES: tuple[str, ...] = (
+    "COUT",        # number of output tuples
+    "SOUTAVG",     # average width of output tuples (bytes)
+    "SOUTTOT",     # total number of bytes output
+    "CIN1",        # number of input tuples, first child
+    "SINAVG1",     # average width of input tuples, first child
+    "SINTOT1",     # total bytes input, first child
+    "CIN2",        # number of input tuples, second child (0 for unary ops)
+    "SINAVG2",     # average width of input tuples, second child
+    "SINTOT2",     # total bytes input, second child
+    "OUTPUTUSAGE",  # categorical: operator type of the parent
+)
+
+#: Operator-specific features (paper Table 2), per family.
+OPERATOR_SPECIFIC_FEATURES: dict[OperatorFamily, tuple[str, ...]] = {
+    OperatorFamily.SCAN: ("TSIZE", "PAGES", "TCOLUMNS", "ESTIOCOST"),
+    OperatorFamily.SEEK: ("TSIZE", "PAGES", "TCOLUMNS", "ESTIOCOST", "INDEXDEPTH"),
+    OperatorFamily.FILTER: ("CPREDICATES",),
+    OperatorFamily.COMPUTE_SCALAR: ("CEXPRESSIONS",),
+    OperatorFamily.SORT: ("MINCOMP", "CSORTCOL"),
+    OperatorFamily.TOP: (),
+    OperatorFamily.HASH_JOIN: ("HASHOPAVG", "HASHOPTOT", "CINNERCOL", "COUTERCOL"),
+    OperatorFamily.MERGE_JOIN: ("CINNERCOL", "COUTERCOL", "SINSUM"),
+    OperatorFamily.NESTED_LOOP_JOIN: ("CINNERCOL", "COUTERCOL", "SSEEKTABLE", "INDEXDEPTH"),
+    OperatorFamily.HASH_AGGREGATE: ("HASHOPAVG", "HASHOPTOT", "CHASHCOL", "CAGGREGATES"),
+    OperatorFamily.STREAM_AGGREGATE: ("CAGGREGATES",),
+}
+
+#: Physical operator type -> model family.
+OPERATOR_FAMILIES: dict[OperatorType, OperatorFamily] = {
+    OperatorType.TABLE_SCAN: OperatorFamily.SCAN,
+    OperatorType.INDEX_SCAN: OperatorFamily.SCAN,
+    OperatorType.INDEX_SEEK: OperatorFamily.SEEK,
+    OperatorType.FILTER: OperatorFamily.FILTER,
+    OperatorType.COMPUTE_SCALAR: OperatorFamily.COMPUTE_SCALAR,
+    OperatorType.SORT: OperatorFamily.SORT,
+    OperatorType.TOP: OperatorFamily.TOP,
+    OperatorType.HASH_JOIN: OperatorFamily.HASH_JOIN,
+    OperatorType.MERGE_JOIN: OperatorFamily.MERGE_JOIN,
+    OperatorType.NESTED_LOOP_JOIN: OperatorFamily.NESTED_LOOP_JOIN,
+    OperatorType.HASH_AGGREGATE: OperatorFamily.HASH_AGGREGATE,
+    OperatorType.STREAM_AGGREGATE: OperatorFamily.STREAM_AGGREGATE,
+}
+
+#: Features that are never considered as scaling ("outlier") features: column
+#: counts, per-tuple ratios and the categorical parent-usage feature only
+#: modulate per-unit cost and do not grow with data size (paper Section 6.2,
+#: "Non-scaling Features").
+NON_SCALING_FEATURES: frozenset[str] = frozenset(
+    {
+        "OUTPUTUSAGE",
+        "HASHOPAVG",
+        "CHASHCOL",
+        "CINNERCOL",
+        "COUTERCOL",
+        "CSORTCOL",
+        "TCOLUMNS",
+        "CPREDICATES",
+        "CEXPRESSIONS",
+        "CAGGREGATES",
+        "INDEXDEPTH",
+    }
+)
+
+
+def operator_family(op_type: OperatorType) -> OperatorFamily:
+    """Model family of a physical operator type."""
+    return OPERATOR_FAMILIES[op_type]
+
+
+def features_for_family(family: OperatorFamily) -> tuple[str, ...]:
+    """Ordered feature list (global + operator-specific) for a family."""
+    return GLOBAL_FEATURES + OPERATOR_SPECIFIC_FEATURES[family]
+
+
+def scalable_features(family: OperatorFamily, resource: str = "cpu") -> tuple[str, ...]:
+    """Features eligible as scaling ("outlier") features for a family.
+
+    For I/O estimation the paper additionally excludes HASHOPTOT and MINCOMP
+    (they only model second-order CPU effects).
+    """
+    excluded = set(NON_SCALING_FEATURES)
+    if resource == "io":
+        excluded |= {"HASHOPTOT", "MINCOMP"}
+    return tuple(f for f in features_for_family(family) if f not in excluded)

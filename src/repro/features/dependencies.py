@@ -1,0 +1,58 @@
+"""Feature dependencies used for normalisation when scaling (paper Table 3).
+
+When a combined model scales by an outlier feature ``F``, every feature ``D``
+that *depends* on ``F`` (meaning a change in ``F`` implies a change in ``D``)
+must be normalised by dividing its value by ``F`` — both when training the
+scaled model and when predicting with the combined model.  Otherwise the
+dependent feature stays an outlier and a single root cause (e.g. an excessive
+number of input tuples) would be scaled for twice.
+
+The mapping below reconstructs the dependency matrix of Table 3 from the
+semantics of the features (the classic example from the paper:
+``SINTOT = CIN × SINAVG``, so ``SINTOT`` depends on ``CIN`` but ``SINAVG``
+does not).  Dependencies are directional: ``DEPENDENCIES[F]`` is the set of
+features to divide by ``F`` when ``F`` is the scaling feature.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FEATURE_DEPENDENCIES", "dependent_features"]
+
+#: outlier feature -> features whose values must be divided by it.
+FEATURE_DEPENDENCIES: dict[str, frozenset[str]] = {
+    # Output cardinality drives total output bytes.
+    "COUT": frozenset({"SOUTTOT"}),
+    # Output width drives total output bytes.
+    "SOUTAVG": frozenset({"SOUTTOT"}),
+    # Total output bytes is itself a product; scaling by it normalises the
+    # cardinalities that generated it.
+    "SOUTTOT": frozenset({"COUT"}),
+    # Input cardinality of child 1 drives that child's byte total, the output
+    # cardinality/bytes, and the cardinality-derived operator features.
+    "CIN1": frozenset({"SINTOT1", "COUT", "SOUTTOT", "HASHOPTOT", "MINCOMP", "SINSUM"}),
+    "CIN2": frozenset({"SINTOT2", "COUT", "SOUTTOT", "HASHOPTOT", "SINSUM"}),
+    # Input widths drive the byte totals of their child.
+    "SINAVG1": frozenset({"SINTOT1", "SINSUM"}),
+    "SINAVG2": frozenset({"SINTOT2", "SINSUM"}),
+    "SINTOT1": frozenset({"SINSUM"}),
+    "SINTOT2": frozenset({"SINSUM"}),
+    # Base-table size drives pages, estimated I/O cost and everything the
+    # rows flowing out of a leaf drive.
+    "TSIZE": frozenset(
+        {"PAGES", "ESTIOCOST", "CIN1", "SINTOT1", "COUT", "SOUTTOT", "MINCOMP", "HASHOPTOT"}
+    ),
+    "PAGES": frozenset({"ESTIOCOST", "TSIZE", "CIN1", "SINTOT1", "COUT", "SOUTTOT"}),
+    "ESTIOCOST": frozenset({"PAGES"}),
+    # Inner-table size of a nested loop join drives the index depth feature
+    # only logarithmically; the paper treats them as dependent.
+    "SSEEKTABLE": frozenset({"ESTIOCOST"}),
+    # Sort / hash work totals are products of a cardinality and a column count.
+    "MINCOMP": frozenset({"CIN1", "SINTOT1"}),
+    "HASHOPTOT": frozenset({"CIN1", "CIN2", "SINTOT1", "SINTOT2"}),
+    "SINSUM": frozenset({"SINTOT1", "SINTOT2"}),
+}
+
+
+def dependent_features(outlier_feature: str) -> frozenset[str]:
+    """Features to normalise (divide) by ``outlier_feature`` when scaling."""
+    return FEATURE_DEPENDENCIES.get(outlier_feature, frozenset())

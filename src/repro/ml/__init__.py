@@ -1,0 +1,44 @@
+"""Statistical-learning substrate (implemented from scratch on numpy).
+
+The paper's models and baselines are all regression learners:
+
+* :class:`~repro.ml.regression_tree.RegressionTree` — least-squares CART
+  with a leaf-count budget, the building block of MART.
+* :class:`~repro.ml.mart.MARTRegressor` — Multiple Additive Regression
+  Trees (stochastic gradient boosting), the paper's base learner.
+* :class:`~repro.ml.linear.LinearRegressor` /
+  :func:`~repro.ml.linear.greedy_feature_selection` — the LINEAR baseline
+  and the operator-level model of Akdere et al.
+* :class:`~repro.ml.svr.KernelSVR` — kernel support-vector-style regression
+  (Poly / NormalizedPoly / RBF kernels), the SVM baseline.
+* :class:`~repro.ml.transform_regression.TransformRegressor` — boosted
+  piecewise-linear trees, the REGTREE baseline.
+* :mod:`~repro.ml.metrics` — the paper's L1 relative error and ratio-error
+  buckets.
+"""
+
+from repro.ml.kernels import Kernel, NormalizedPolyKernel, PolyKernel, RBFKernel, make_kernel
+from repro.ml.linear import LinearRegressor, greedy_feature_selection
+from repro.ml.mart import MARTRegressor
+from repro.ml.metrics import ErrorSummary, l1_relative_error, ratio_error, ratio_error_buckets
+from repro.ml.regression_tree import RegressionTree
+from repro.ml.svr import KernelSVR
+from repro.ml.transform_regression import TransformRegressor
+
+__all__ = [
+    "Kernel",
+    "PolyKernel",
+    "NormalizedPolyKernel",
+    "RBFKernel",
+    "make_kernel",
+    "LinearRegressor",
+    "greedy_feature_selection",
+    "MARTRegressor",
+    "ErrorSummary",
+    "l1_relative_error",
+    "ratio_error",
+    "ratio_error_buckets",
+    "RegressionTree",
+    "KernelSVR",
+    "TransformRegressor",
+]

@@ -1,0 +1,149 @@
+"""Linear / ridge regression and greedy feature selection.
+
+Used for two of the paper's baselines:
+
+* **LINEAR** — a per-operator linear regression over the paper's numeric
+  features, with greedy forward feature selection;
+* the operator-level model of **Akdere et al. [8]**, which also uses linear
+  regression per operator (with its own feature set and a bottom-up
+  propagation of estimates through the plan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinearRegressor", "greedy_feature_selection"]
+
+
+@dataclass
+class LinearRegressor:
+    """Ordinary least squares with an intercept and optional L2 ridge term.
+
+    Parameters
+    ----------
+    ridge:
+        L2 regularisation strength (0 = plain OLS, solved via lstsq).
+    clip_negative:
+        Clamp predictions at zero — resource usage cannot be negative, and a
+        linear model extrapolated to small inputs frequently dips below it.
+    """
+
+    ridge: float = 1e-6
+    clip_negative: bool = True
+
+    def __post_init__(self) -> None:
+        self.coefficients_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.n_features_: int | None = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearRegressor":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D")
+        if targets.ndim != 1 or targets.shape[0] != features.shape[0]:
+            raise ValueError("targets must be 1-D and aligned with features")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        n, d = features.shape
+        self.n_features_ = d
+        design = np.hstack([np.ones((n, 1)), features])
+        if self.ridge > 0:
+            gram = design.T @ design
+            # Scale the ridge term relative to the feature magnitudes so that
+            # regularisation stays meaningful for features spanning many
+            # orders of magnitude (page counts vs column counts).
+            scale = max(float(np.trace(gram)) / (d + 1), 1.0)
+            penalty = self.ridge * scale * np.eye(d + 1)
+            penalty[0, 0] = 0.0  # do not penalise the intercept
+            try:
+                solution = np.linalg.solve(gram + penalty, design.T @ targets)
+            except np.linalg.LinAlgError:
+                solution, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        else:
+            solution, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        self.intercept_ = float(solution[0])
+        self.coefficients_ = solution[1:]
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.coefficients_ is None:
+            raise RuntimeError("model has not been fitted")
+        features = np.asarray(features, dtype=np.float64)
+        single = features.ndim == 1
+        if single:
+            features = features.reshape(1, -1)
+        out = features @ self.coefficients_ + self.intercept_
+        if self.clip_negative:
+            out = np.maximum(out, 0.0)
+        return out[0:1] if single else out
+
+
+def greedy_feature_selection(
+    features: np.ndarray,
+    targets: np.ndarray,
+    max_features: int | None = None,
+    n_folds: int = 3,
+    ridge: float = 1e-6,
+    seed: int = 13,
+) -> list[int]:
+    """Greedy forward feature selection for a linear model.
+
+    Starting from the empty set, repeatedly add the feature whose inclusion
+    minimises cross-validated squared error; stop when no candidate improves
+    the score or ``max_features`` is reached.  Returns the selected feature
+    indices in the order they were added (never empty — at least the single
+    best feature is returned).
+    """
+    features = np.asarray(features, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    n, d = features.shape
+    if n == 0 or d == 0:
+        return list(range(d))
+    if max_features is None:
+        max_features = d
+    max_features = min(max_features, d)
+
+    rng = np.random.default_rng(seed)
+    fold_ids = rng.integers(0, n_folds, size=n)
+
+    def cv_error(selected: list[int]) -> float:
+        errors = []
+        cols = features[:, selected]
+        for fold in range(n_folds):
+            train_mask = fold_ids != fold
+            test_mask = ~train_mask
+            if train_mask.sum() < len(selected) + 2 or test_mask.sum() == 0:
+                continue
+            model = LinearRegressor(ridge=ridge)
+            model.fit(cols[train_mask], targets[train_mask])
+            pred = model.predict(cols[test_mask])
+            errors.append(float(np.mean((pred - targets[test_mask]) ** 2)))
+        if not errors:
+            model = LinearRegressor(ridge=ridge)
+            model.fit(cols, targets)
+            return float(np.mean((model.predict(cols) - targets) ** 2))
+        return float(np.mean(errors))
+
+    selected: list[int] = []
+    best_score = np.inf
+    while len(selected) < max_features:
+        best_candidate = None
+        best_candidate_score = best_score
+        for feature in range(d):
+            if feature in selected:
+                continue
+            score = cv_error(selected + [feature])
+            if score < best_candidate_score - 1e-12:
+                best_candidate_score = score
+                best_candidate = feature
+        if best_candidate is None:
+            break
+        selected.append(best_candidate)
+        best_score = best_candidate_score
+    if not selected:
+        selected = [0]
+    return selected

@@ -1,0 +1,93 @@
+"""Error metrics used throughout the paper's evaluation (Section 7.1).
+
+Two metrics are reported for every experiment:
+
+* the **L1 relative error** averaged over test queries,
+  ``|estimate - actual| / estimate`` (note the denominator: the paper
+  normalises by the *estimate*, which penalises under-estimation harder), and
+* the distribution of the **ratio error**
+  ``max(estimate/actual, actual/estimate)`` over three buckets:
+  ``<= 1.5``, ``(1.5, 2]`` and ``> 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["l1_relative_error", "ratio_error", "ratio_error_buckets", "ErrorSummary"]
+
+#: Floor applied to estimates/actuals to keep the metrics finite.
+_EPSILON = 1e-9
+
+
+def l1_relative_error(estimates: np.ndarray, actuals: np.ndarray) -> float:
+    """Mean of ``|estimate - actual| / estimate`` over all queries."""
+    estimates = np.asarray(estimates, dtype=np.float64)
+    actuals = np.asarray(actuals, dtype=np.float64)
+    if estimates.shape != actuals.shape:
+        raise ValueError("estimates and actuals must have the same shape")
+    if estimates.size == 0:
+        return 0.0
+    denom = np.maximum(np.abs(estimates), _EPSILON)
+    return float(np.mean(np.abs(estimates - actuals) / denom))
+
+
+def ratio_error(estimates: np.ndarray, actuals: np.ndarray) -> np.ndarray:
+    """Per-query ratio error ``max(est/actual, actual/est)`` (always >= 1)."""
+    estimates = np.maximum(np.asarray(estimates, dtype=np.float64), _EPSILON)
+    actuals = np.maximum(np.asarray(actuals, dtype=np.float64), _EPSILON)
+    if estimates.shape != actuals.shape:
+        raise ValueError("estimates and actuals must have the same shape")
+    return np.maximum(estimates / actuals, actuals / estimates)
+
+
+def ratio_error_buckets(estimates: np.ndarray, actuals: np.ndarray) -> tuple[float, float, float]:
+    """Fractions of queries with ratio error <= 1.5, in (1.5, 2], and > 2."""
+    ratios = ratio_error(estimates, actuals)
+    if ratios.size == 0:
+        return 1.0, 0.0, 0.0
+    small = float(np.mean(ratios <= 1.5))
+    medium = float(np.mean((ratios > 1.5) & (ratios <= 2.0)))
+    large = float(np.mean(ratios > 2.0))
+    return small, medium, large
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """The paper's standard error report for one technique on one test set."""
+
+    l1_error: float
+    ratio_le_15: float
+    ratio_15_to_2: float
+    ratio_gt_2: float
+    n_queries: int
+
+    @classmethod
+    def from_predictions(cls, estimates: np.ndarray, actuals: np.ndarray) -> "ErrorSummary":
+        estimates = np.asarray(estimates, dtype=np.float64)
+        actuals = np.asarray(actuals, dtype=np.float64)
+        small, medium, large = ratio_error_buckets(estimates, actuals)
+        return cls(
+            l1_error=l1_relative_error(estimates, actuals),
+            ratio_le_15=small,
+            ratio_15_to_2=medium,
+            ratio_gt_2=large,
+            n_queries=int(estimates.size),
+        )
+
+    def as_row(self) -> dict[str, float]:
+        """Row representation used by the experiment reporting code."""
+        return {
+            "L1": round(self.l1_error, 3),
+            "R<=1.5": round(100.0 * self.ratio_le_15, 2),
+            "R in [1.5,2]": round(100.0 * self.ratio_15_to_2, 2),
+            "R>2": round(100.0 * self.ratio_gt_2, 2),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"L1={self.l1_error:.2f}  R<=1.5: {100 * self.ratio_le_15:.1f}%  "
+            f"R in (1.5,2]: {100 * self.ratio_15_to_2:.1f}%  R>2: {100 * self.ratio_gt_2:.1f}%"
+        )

@@ -1,0 +1,287 @@
+"""Least-squares regression trees (the building block of MART).
+
+The tree is grown best-first: at every step the leaf whose best split yields
+the largest reduction in squared error is expanded, until the ``max_leaves``
+budget is exhausted.  Growing best-first (rather than depth-first to a fixed
+depth) matches how MART-style implementations bound model complexity by leaf
+count — the paper uses trees with at most 10 leaf nodes.
+
+The implementation is fully vectorised: for every candidate feature the
+split search sorts the node's rows once and evaluates all thresholds with
+prefix sums, so fitting cost is ``O(n log n · d)`` per node.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RegressionTree", "TreeNode"]
+
+
+@dataclass
+class TreeNode:
+    """A node of a fitted regression tree.
+
+    Leaf nodes have ``feature == -1``; internal nodes route rows with
+    ``x[feature] <= threshold`` to ``left`` and the rest to ``right``.
+    """
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    n_samples: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+    def leaves(self) -> list["TreeNode"]:
+        if self.is_leaf:
+            return [self]
+        assert self.left is not None and self.right is not None
+        return self.left.leaves() + self.right.leaves()
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+@dataclass(order=True)
+class _SplitCandidate:
+    """A candidate leaf expansion kept in the best-first priority queue."""
+
+    neg_gain: float
+    tie_breaker: int
+    node: TreeNode = field(compare=False)
+    rows: np.ndarray = field(compare=False)
+    feature: int = field(compare=False, default=-1)
+    threshold: float = field(compare=False, default=0.0)
+    left_rows: np.ndarray = field(compare=False, default=None)
+    right_rows: np.ndarray = field(compare=False, default=None)
+    left_value: float = field(compare=False, default=0.0)
+    right_value: float = field(compare=False, default=0.0)
+
+
+class RegressionTree:
+    """A least-squares CART regressor with a bounded number of leaves.
+
+    Parameters
+    ----------
+    max_leaves:
+        Maximum number of terminal nodes (the paper uses 10).
+    min_samples_leaf:
+        Minimum number of training rows per leaf.
+    """
+
+    def __init__(self, max_leaves: int = 10, min_samples_leaf: int = 2) -> None:
+        if max_leaves < 2:
+            raise ValueError("max_leaves must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_leaves = max_leaves
+        self.min_samples_leaf = min_samples_leaf
+        self.root: TreeNode | None = None
+        self.n_features_: int | None = None
+
+    # -- fitting --------------------------------------------------------------------------
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RegressionTree":
+        """Fit the tree to ``features`` (n, d) and ``targets`` (n,)."""
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D array")
+        if targets.ndim != 1 or targets.shape[0] != features.shape[0]:
+            raise ValueError("targets must be 1-D and aligned with features")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit a tree on an empty dataset")
+        self.n_features_ = features.shape[1]
+        self._flat_cache = None  # invalidate the vectorised-prediction cache
+
+        all_rows = np.arange(features.shape[0])
+        self.root = TreeNode(value=float(targets.mean()), n_samples=features.shape[0])
+        counter = itertools.count()
+        heap: list[_SplitCandidate] = []
+        self._push_candidate(heap, counter, self.root, all_rows, features, targets)
+
+        n_leaves = 1
+        while heap and n_leaves < self.max_leaves:
+            candidate = heapq.heappop(heap)
+            if candidate.neg_gain >= 0.0:
+                break
+            node = candidate.node
+            node.feature = candidate.feature
+            node.threshold = candidate.threshold
+            node.left = TreeNode(value=candidate.left_value, n_samples=len(candidate.left_rows))
+            node.right = TreeNode(value=candidate.right_value, n_samples=len(candidate.right_rows))
+            n_leaves += 1
+            self._push_candidate(heap, counter, node.left, candidate.left_rows, features, targets)
+            self._push_candidate(heap, counter, node.right, candidate.right_rows, features, targets)
+        return self
+
+    def _push_candidate(
+        self,
+        heap: list[_SplitCandidate],
+        counter: "itertools.count",
+        node: TreeNode,
+        rows: np.ndarray,
+        features: np.ndarray,
+        targets: np.ndarray,
+    ) -> None:
+        """Evaluate the best split of ``node`` and push it onto the heap."""
+        split = self._best_split(features, targets, rows)
+        if split is None:
+            return
+        gain, feature, threshold, left_rows, right_rows, left_value, right_value = split
+        heapq.heappush(
+            heap,
+            _SplitCandidate(
+                neg_gain=-gain,
+                tie_breaker=next(counter),
+                node=node,
+                rows=rows,
+                feature=feature,
+                threshold=threshold,
+                left_rows=left_rows,
+                right_rows=right_rows,
+                left_value=left_value,
+                right_value=right_value,
+            ),
+        )
+
+    def _best_split(
+        self, features: np.ndarray, targets: np.ndarray, rows: np.ndarray
+    ) -> tuple[float, int, float, np.ndarray, np.ndarray, float, float] | None:
+        """Find the SSE-minimising split of the rows, or ``None`` if unsplittable."""
+        n = len(rows)
+        if n < 2 * self.min_samples_leaf:
+            return None
+        y = targets[rows]
+        total_sum = float(y.sum())
+        total_sq = float(((y - y.mean()) ** 2).sum())
+        if total_sq <= 1e-12:
+            return None
+
+        min_leaf = self.min_samples_leaf
+        x = features[rows]  # (n, d)
+        order = np.argsort(x, axis=0, kind="stable")  # (n, d)
+        x_sorted = np.take_along_axis(x, order, axis=0)
+        y_sorted = y[order]  # (n, d): per-feature sorted targets
+        # For every feature and split position, the SSE reduction equals
+        # left_sum^2/left_count + right_sum^2/right_count - total^2/n, so the
+        # best split maximises the first two terms (computed via prefix sums).
+        prefix = np.cumsum(y_sorted, axis=0)
+        counts = np.arange(1, n + 1, dtype=np.float64).reshape(-1, 1)
+        left_sum = prefix[:-1]
+        left_count = counts[:-1]
+        right_sum = total_sum - left_sum
+        right_count = n - left_count
+        score = left_sum**2 / left_count + right_sum**2 / right_count  # (n-1, d)
+        valid = (
+            (x_sorted[1:] > x_sorted[:-1])
+            & (left_count >= min_leaf)
+            & (right_count >= min_leaf)
+        )
+        if not np.any(valid):
+            return None
+        score = np.where(valid, score, -np.inf)
+        flat_best = int(np.argmax(score))
+        pos, feature = np.unravel_index(flat_best, score.shape)
+        best_score = float(score[pos, feature])
+        if not np.isfinite(best_score):
+            return None
+        gain = best_score - total_sum**2 / n
+        if gain <= 1e-12:
+            return None
+        threshold = float((x_sorted[pos, feature] + x_sorted[pos + 1, feature]) / 2.0)
+        left_rows = rows[order[: pos + 1, feature]]
+        right_rows = rows[order[pos + 1 :, feature]]
+        left_value = float(targets[left_rows].mean())
+        right_value = float(targets[right_rows].mean())
+        return float(gain), int(feature), threshold, left_rows, right_rows, left_value, right_value
+
+    # -- prediction ------------------------------------------------------------------------
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for ``features`` (n, d)."""
+        if self.root is None:
+            raise RuntimeError("tree has not been fitted")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        flat = self._flat()
+        node_features, thresholds, lefts, rights, values = flat
+        # Route all rows through the tree level by level (vectorised).
+        positions = np.zeros(features.shape[0], dtype=np.int64)
+        active = node_features[positions] >= 0
+        while np.any(active):
+            rows = np.nonzero(active)[0]
+            nodes = positions[rows]
+            go_left = features[rows, node_features[nodes]] <= thresholds[nodes]
+            positions[rows] = np.where(go_left, lefts[nodes], rights[nodes])
+            active[rows] = node_features[positions[rows]] >= 0
+        return values[positions]
+
+    def _flat(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Array encoding of the tree (cached) for vectorised prediction."""
+        cached = getattr(self, "_flat_cache", None)
+        if cached is not None:
+            return cached
+        nodes: list[TreeNode] = []
+
+        def collect(node: TreeNode) -> int:
+            index = len(nodes)
+            nodes.append(node)
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                collect(node.left)
+                collect(node.right)
+            return index
+
+        assert self.root is not None
+        collect(self.root)
+        index_of = {id(node): i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        node_features = np.full(n, -1, dtype=np.int64)
+        thresholds = np.zeros(n, dtype=np.float64)
+        lefts = np.zeros(n, dtype=np.int64)
+        rights = np.zeros(n, dtype=np.int64)
+        values = np.zeros(n, dtype=np.float64)
+        for i, node in enumerate(nodes):
+            values[i] = node.value
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node_features[i] = node.feature
+                thresholds[i] = node.threshold
+                lefts[i] = index_of[id(node.left)]
+                rights[i] = index_of[id(node.right)]
+        flat = (node_features, thresholds, lefts, rights, values)
+        self._flat_cache = flat
+        return flat
+
+    def _predict_one(self, x: np.ndarray) -> float:
+        node = self.root
+        assert node is not None
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node.value
+
+    # -- introspection -----------------------------------------------------------------------
+    @property
+    def n_leaves(self) -> int:
+        if self.root is None:
+            return 0
+        return len(self.root.leaves())
+
+    @property
+    def depth(self) -> int:
+        if self.root is None:
+            return 0
+        return self.root.depth()

@@ -1,0 +1,18 @@
+"""Query optimizer substrate.
+
+Turns logical :class:`~repro.query.spec.QuerySpec` objects into physical
+:class:`~repro.plan.plan.QueryPlan` trees, annotating every operator with
+
+* a *true* output cardinality (used by the execution simulator and by the
+  paper's "exact feature" experiments), and
+* an *optimizer-estimated* cardinality derived from histogram statistics
+  under the classical uniformity/independence/containment assumptions (used
+  by plan selection, the optimizer cost model and the "optimizer-estimated
+  feature" experiments).
+"""
+
+from repro.optimizer.cardinality import CardinalityModel
+from repro.optimizer.cost_model import OptimizerCostModel
+from repro.optimizer.planner import Planner
+
+__all__ = ["CardinalityModel", "OptimizerCostModel", "Planner"]

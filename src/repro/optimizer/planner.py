@@ -1,0 +1,476 @@
+"""Physical plan construction.
+
+The planner turns a logical :class:`~repro.query.spec.QuerySpec` into a
+physical operator tree using the classical heuristics of a cost-based
+optimizer, driven by *estimated* cardinalities (plans are chosen from the
+optimizer's view of the world, not the truth — which is how cardinality
+errors propagate into plan-shape differences):
+
+* **access paths** — an index seek when a sargable predicate on an index's
+  leading column is estimated to be selective enough, a (clustered) table
+  scan otherwise, with a residual Filter for the remaining predicates;
+* **join order** — greedy left-deep ordering by estimated intermediate
+  result size;
+* **join algorithm** — index nested loops for small outers probing an
+  indexed inner, merge join when both inputs arrive ordered on the join
+  keys, hash join otherwise;
+* **aggregation** — stream aggregate for scalar aggregates, hash aggregate
+  for grouped ones;
+* **ordering / limit** — a Sort (plus Top) on top when requested.
+
+Operator ``props`` conventions
+------------------------------
+Leaf operators carry ``table``, ``table_rows``, ``table_columns``,
+``pages``, ``row_width_full``; seeks additionally carry ``index``,
+``index_depth``, ``executions`` and ``leaf_fraction``.  Filters carry
+``predicate_complexity`` and ``n_predicates``.  Joins carry
+``outer_columns``/``inner_columns`` (number of join columns per side) and,
+for nested loops, ``inner_table_rows`` and ``index_depth``.  Sorts carry
+``n_sort_columns``; aggregates carry ``n_group_columns``, ``n_aggregates``
+and ``hash_columns``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.schema import Catalog, Index, Table
+from repro.catalog.statistics import StatisticsCatalog
+from repro.optimizer.cardinality import CardinalityModel
+from repro.optimizer.cost_model import OptimizerCostModel
+from repro.plan.operators import OperatorType, PlanOperator
+from repro.plan.plan import QueryPlan
+from repro.query.spec import JoinEdge, QuerySpec, TableRef
+
+__all__ = ["Planner", "PlannerConfig"]
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Thresholds steering the planner's physical choices."""
+
+    #: Estimated selectivity below which a sargable predicate triggers a seek.
+    seek_selectivity_threshold: float = 0.2
+    #: Maximum estimated outer cardinality for an index nested loop join.
+    nested_loop_outer_threshold: float = 50_000.0
+    #: Minimum inner-table row count for a nested loop to be attractive.
+    nested_loop_inner_minimum: float = 10_000.0
+
+
+@dataclass
+class _JoinedInput:
+    """Book-keeping for one input of the greedy join ordering."""
+
+    operator: PlanOperator
+    aliases: set[str]
+    #: (alias, column) the output arrives ordered by, or None when unordered.
+    sorted_on: tuple[str, str] | None
+
+
+class Planner:
+    """Builds annotated physical plans for query specs."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        statistics: StatisticsCatalog | None = None,
+        config: PlannerConfig | None = None,
+        cost_model: OptimizerCostModel | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.statistics = statistics or StatisticsCatalog(catalog)
+        self.cardinality = CardinalityModel(catalog, self.statistics)
+        self.config = config or PlannerConfig()
+        self.cost_model = cost_model or OptimizerCostModel()
+
+    # -- public API ---------------------------------------------------------------------
+    def plan(self, query: QuerySpec) -> QueryPlan:
+        """Build a physical plan for ``query`` and annotate optimizer costs."""
+        query.validate()
+        inputs = {ref.name: self._build_access_path(ref) for ref in query.tables}
+        root_input = self._order_and_join(query, inputs)
+        root = root_input.operator
+        root = self._add_aggregation(query, root)
+        root = self._add_ordering(query, root, root_input)
+        plan = QueryPlan(query=query, root=root)
+        self.cost_model.apply(plan)
+        return plan
+
+    # -- access paths --------------------------------------------------------------------
+    def _build_access_path(self, ref: TableRef) -> _JoinedInput:
+        table = self.catalog.table(ref.table)
+        width = float(table.width_of(ref.projected_columns))
+        true_sel, est_sel = self.cardinality.filter_selectivity(ref)
+        rows = float(table.row_count)
+
+        seek_choice = self._choose_seek(ref, table)
+        if seek_choice is not None:
+            index, sargable = seek_choice
+            sarg_true = sargable.true_selectivity(self.catalog)
+            sarg_est = sargable.estimated_selectivity(self.statistics)
+            leaf = PlanOperator(
+                op_type=OperatorType.INDEX_SEEK,
+                est_rows=rows * sarg_est,
+                true_rows=rows * sarg_true,
+                row_width=width,
+                props={
+                    "table": table.name,
+                    "index": index.name,
+                    "alias": ref.name,
+                    "table_rows": rows,
+                    "table_columns": table.n_columns,
+                    "pages": table.pages,
+                    "row_width_full": float(table.row_width),
+                    "index_depth": index.depth(table),
+                    "index_leaf_pages": index.leaf_pages(table),
+                    "executions": 1.0,
+                    "leaf_fraction": 1.0 / max(table.pages, 1),
+                    "covering": index.covers(ref.projected_columns or table.column_names),
+                },
+            )
+            residual = ref.predicates.residual(sargable)
+            op = self._add_residual_filter(leaf, residual, table)
+            sorted_on = (ref.name, index.key_columns[0])
+            return _JoinedInput(operator=op, aliases={ref.name}, sorted_on=sorted_on)
+
+        clustered = self.catalog.clustered_index(table.name)
+        scan_type = OperatorType.INDEX_SCAN if clustered is not None else OperatorType.TABLE_SCAN
+        leaf = PlanOperator(
+            op_type=scan_type,
+            est_rows=rows,
+            true_rows=rows,
+            row_width=width,
+            props={
+                "table": table.name,
+                "alias": ref.name,
+                "index": clustered.name if clustered is not None else None,
+                "table_rows": rows,
+                "table_columns": table.n_columns,
+                "pages": table.pages,
+                "row_width_full": float(table.row_width),
+            },
+        )
+        op = self._add_residual_filter(leaf, ref.predicates, table)
+        sorted_on = None
+        if clustered is not None:
+            sorted_on = (ref.name, clustered.key_columns[0])
+        return _JoinedInput(operator=op, aliases={ref.name}, sorted_on=sorted_on)
+
+    def _choose_seek(self, ref: TableRef, table: Table) -> tuple[Index, object] | None:
+        """Pick an (index, sargable predicate) pair if a seek looks attractive."""
+        if not ref.predicates:
+            return None
+        best: tuple[float, Index, object] | None = None
+        for index in self.catalog.indexes_on(table.name):
+            leading = index.key_columns[0]
+            sargable = ref.predicates.sargable_predicate(leading)
+            if sargable is None:
+                continue
+            est_sel = sargable.estimated_selectivity(self.statistics)
+            if est_sel > self.config.seek_selectivity_threshold:
+                continue
+            # Non-covering, non-clustered seeks over large fractions are
+            # unattractive because of lookups; fold that into the score.
+            covering = index.covers(ref.projected_columns or table.column_names)
+            score = est_sel * (1.0 if covering else 3.0)
+            if best is None or score < best[0]:
+                best = (score, index, sargable)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _add_residual_filter(self, child: PlanOperator, predicates, table: Table) -> PlanOperator:
+        """Wrap ``child`` in a Filter applying the remaining predicates."""
+        if not predicates:
+            return child
+        true_sel = predicates.true_selectivity(self.catalog)
+        est_sel = predicates.estimated_selectivity(self.statistics)
+        return PlanOperator(
+            op_type=OperatorType.FILTER,
+            children=[child],
+            est_rows=child.est_rows * est_sel,
+            true_rows=child.true_rows * true_sel,
+            row_width=child.row_width,
+            props={
+                "predicate_complexity": predicates.total_complexity,
+                "n_predicates": len(predicates),
+                "table": table.name,
+            },
+        )
+
+    # -- join ordering and algorithms ---------------------------------------------------
+    def _order_and_join(self, query: QuerySpec, inputs: dict[str, _JoinedInput]) -> _JoinedInput:
+        if len(inputs) == 1:
+            return next(iter(inputs.values()))
+
+        remaining = dict(inputs)
+        # Start from the input with the smallest estimated cardinality that
+        # participates in at least one join edge.
+        start_alias = min(remaining, key=lambda a: remaining[a].operator.est_rows)
+        current = remaining.pop(start_alias)
+
+        while remaining:
+            candidate = self._cheapest_extension(query, current, remaining)
+            if candidate is None:
+                # Disconnected graph fragments are rejected by validate(), so
+                # this only happens if the remaining edges connect among
+                # themselves first; pick the smallest remaining input and
+                # continue (it will connect on a later iteration).
+                alias = min(remaining, key=lambda a: remaining[a].operator.est_rows)
+                fragment = remaining.pop(alias)
+                current = self._join_inputs(query, current, fragment, edges=[])
+                continue
+            alias, edges = candidate
+            nxt = remaining.pop(alias)
+            current = self._join_inputs(query, current, nxt, edges)
+        return current
+
+    def _cheapest_extension(
+        self,
+        query: QuerySpec,
+        current: _JoinedInput,
+        remaining: dict[str, _JoinedInput],
+    ) -> tuple[str, list[JoinEdge]] | None:
+        """Pick the joinable alias minimising the estimated join output."""
+        best: tuple[float, str, list[JoinEdge]] | None = None
+        for alias, candidate in remaining.items():
+            edges = [
+                edge
+                for edge in query.joins
+                if (edge.left in current.aliases and edge.right == alias)
+                or (edge.right in current.aliases and edge.left == alias)
+            ]
+            if not edges:
+                continue
+            est_rows = self._join_cardinality(query, current, candidate, edges, estimated=True)
+            if best is None or est_rows < best[0]:
+                best = (est_rows, alias, edges)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _join_cardinality(
+        self,
+        query: QuerySpec,
+        left: _JoinedInput,
+        right: _JoinedInput,
+        edges: list[JoinEdge],
+        estimated: bool,
+    ) -> float:
+        """Cardinality of joining ``left`` and ``right`` along ``edges``."""
+        left_rows = left.operator.output_rows(estimated)
+        right_rows = right.operator.output_rows(estimated)
+        result = left_rows * right_rows
+        for edge in edges:
+            left_alias = edge.left if edge.left in left.aliases else edge.right
+            right_alias = edge.other(left_alias)
+            left_ref = query.table_ref(left_alias)
+            right_ref = query.table_ref(right_alias)
+            sel = self.cardinality.join_selectivity(
+                left_ref.table,
+                edge.column_for(left_alias),
+                right_ref.table,
+                edge.column_for(right_alias),
+            )
+            result *= sel.estimated if estimated else sel.true
+        return max(result, 0.0)
+
+    def _join_inputs(
+        self,
+        query: QuerySpec,
+        left: _JoinedInput,
+        right: _JoinedInput,
+        edges: list[JoinEdge],
+    ) -> _JoinedInput:
+        """Create the join operator combining two inputs."""
+        est_rows = self._join_cardinality(query, left, right, edges, estimated=True)
+        true_rows = self._join_cardinality(query, left, right, edges, estimated=False)
+        width = left.operator.row_width + right.operator.row_width
+        n_join_columns = max(len(edges), 1)
+
+        algorithm = self._choose_join_algorithm(query, left, right, edges)
+
+        if algorithm == OperatorType.NESTED_LOOP_JOIN:
+            inner_leaf = right.operator
+            inner_table_rows = float(inner_leaf.props.get("table_rows", inner_leaf.est_rows))
+            outer_rows_est = left.operator.est_rows
+            outer_rows_true = left.operator.true_rows
+            # The inner side of an index nested loop join is executed once per
+            # outer row; annotate the execution count for costing/resources.
+            for node in right.operator.iter_subtree():
+                if node.op_type == OperatorType.INDEX_SEEK:
+                    node.props["executions"] = max(outer_rows_est, 1.0)
+            op = PlanOperator(
+                op_type=OperatorType.NESTED_LOOP_JOIN,
+                children=[left.operator, right.operator],
+                est_rows=est_rows,
+                true_rows=true_rows,
+                row_width=width,
+                props={
+                    "outer_columns": n_join_columns,
+                    "inner_columns": n_join_columns,
+                    "inner_table_rows": inner_table_rows,
+                    "index_depth": self._inner_index_depth(right),
+                    "outer_rows_est": outer_rows_est,
+                    "outer_rows_true": outer_rows_true,
+                },
+            )
+            return _JoinedInput(op, left.aliases | right.aliases, sorted_on=left.sorted_on)
+
+        if algorithm == OperatorType.MERGE_JOIN:
+            op = PlanOperator(
+                op_type=OperatorType.MERGE_JOIN,
+                children=[left.operator, right.operator],
+                est_rows=est_rows,
+                true_rows=true_rows,
+                row_width=width,
+                props={
+                    "outer_columns": n_join_columns,
+                    "inner_columns": n_join_columns,
+                },
+            )
+            return _JoinedInput(op, left.aliases | right.aliases, sorted_on=left.sorted_on)
+
+        # Hash join: build on the smaller estimated input, probe with the larger.
+        if left.operator.est_rows >= right.operator.est_rows:
+            probe, build = left, right
+        else:
+            probe, build = right, left
+        op = PlanOperator(
+            op_type=OperatorType.HASH_JOIN,
+            children=[probe.operator, build.operator],
+            est_rows=est_rows,
+            true_rows=true_rows,
+            row_width=width,
+            props={
+                "outer_columns": n_join_columns,
+                "inner_columns": n_join_columns,
+                "hash_columns": n_join_columns,
+            },
+        )
+        return _JoinedInput(op, left.aliases | right.aliases, sorted_on=None)
+
+    def _choose_join_algorithm(
+        self,
+        query: QuerySpec,
+        left: _JoinedInput,
+        right: _JoinedInput,
+        edges: list[JoinEdge],
+    ) -> OperatorType:
+        if not edges:
+            return OperatorType.NESTED_LOOP_JOIN
+        cfg = self.config
+        # Index nested loops: small outer, indexed inner base table.
+        inner_is_indexed_leaf = self._inner_seekable(right, edges)
+        if (
+            inner_is_indexed_leaf
+            and left.operator.est_rows <= cfg.nested_loop_outer_threshold
+            and float(right.operator.props.get("table_rows", right.operator.est_rows))
+            >= cfg.nested_loop_inner_minimum
+        ):
+            return OperatorType.NESTED_LOOP_JOIN
+        # Merge join: both inputs ordered on the join columns.
+        edge = edges[0]
+        if left.sorted_on is not None and right.sorted_on is not None:
+            left_alias = edge.left if edge.left in left.aliases else edge.right
+            right_alias = edge.other(left_alias)
+            left_sorted = left.sorted_on == (left_alias, edge.column_for(left_alias))
+            right_sorted = right.sorted_on == (right_alias, edge.column_for(right_alias))
+            if left_sorted and right_sorted:
+                return OperatorType.MERGE_JOIN
+        return OperatorType.HASH_JOIN
+
+    def _inner_seekable(self, right: _JoinedInput, edges: list[JoinEdge]) -> bool:
+        """Whether the right input is a bare base-table access with a usable index."""
+        op = right.operator
+        if not op.op_type.is_leaf:
+            return False
+        table_name = op.props.get("table")
+        if table_name is None or len(right.aliases) != 1:
+            return False
+        alias = next(iter(right.aliases))
+        for edge in edges:
+            if not edge.touches(alias):
+                continue
+            column = edge.column_for(alias)
+            if self.catalog.find_index_on(table_name, column) is not None:
+                return True
+        return False
+
+    def _inner_index_depth(self, right: _JoinedInput) -> int:
+        op = right.operator
+        table_name = op.props.get("table")
+        if table_name is None:
+            return 2
+        index_name = op.props.get("index")
+        table = self.catalog.table(table_name)
+        if index_name and index_name in self.catalog.indexes:
+            return self.catalog.indexes[index_name].depth(table)
+        clustered = self.catalog.clustered_index(table_name)
+        if clustered is not None:
+            return clustered.depth(table)
+        return 2
+
+    # -- aggregation, ordering, limit ----------------------------------------------------
+    def _add_aggregation(self, query: QuerySpec, root: PlanOperator) -> PlanOperator:
+        aggregate = query.aggregate
+        if aggregate is None:
+            return root
+        true_groups, est_groups = self.cardinality.group_count(
+            query, root.true_rows, root.est_rows
+        )
+        group_columns = aggregate.grouping_columns
+        width = 8.0 * aggregate.n_aggregates
+        for alias, column in group_columns:
+            ref = query.table_ref(alias)
+            table = self.catalog.table(ref.table)
+            width += float(table.column(column).width or 8)
+        op_type = (
+            OperatorType.STREAM_AGGREGATE if aggregate.is_scalar else OperatorType.HASH_AGGREGATE
+        )
+        agg = PlanOperator(
+            op_type=op_type,
+            children=[root],
+            est_rows=max(est_groups, 1.0),
+            true_rows=max(true_groups, 1.0),
+            row_width=max(width, 8.0),
+            props={
+                "n_group_columns": len(group_columns),
+                "n_aggregates": aggregate.n_aggregates,
+                "hash_columns": len(group_columns),
+            },
+        )
+        if aggregate.n_aggregates > 1:
+            return PlanOperator(
+                op_type=OperatorType.COMPUTE_SCALAR,
+                children=[agg],
+                est_rows=agg.est_rows,
+                true_rows=agg.true_rows,
+                row_width=agg.row_width,
+                props={"n_expressions": aggregate.n_aggregates},
+            )
+        return agg
+
+    def _add_ordering(
+        self, query: QuerySpec, root: PlanOperator, root_input: _JoinedInput
+    ) -> PlanOperator:
+        result = root
+        if query.order_by is not None and query.order_by.columns:
+            result = PlanOperator(
+                op_type=OperatorType.SORT,
+                children=[result],
+                est_rows=result.est_rows,
+                true_rows=result.true_rows,
+                row_width=result.row_width,
+                props={"n_sort_columns": len(query.order_by.columns)},
+            )
+        if query.limit is not None:
+            result = PlanOperator(
+                op_type=OperatorType.TOP,
+                children=[result],
+                est_rows=min(float(query.limit), result.est_rows),
+                true_rows=min(float(query.limit), result.true_rows),
+                row_width=result.row_width,
+                props={"limit": query.limit},
+            )
+        return result

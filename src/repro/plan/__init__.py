@@ -1,0 +1,6 @@
+"""Physical plan substrate: operator trees, plans and pipelines."""
+
+from repro.plan.operators import OperatorType, PlanOperator
+from repro.plan.plan import Pipeline, QueryPlan
+
+__all__ = ["OperatorType", "PlanOperator", "Pipeline", "QueryPlan"]

@@ -1,0 +1,165 @@
+"""Physical operators.
+
+Each node of a query plan is a :class:`PlanOperator` carrying
+
+* its :class:`OperatorType`,
+* its children (0 for leaves, 1 for unary operators, 2 for joins),
+* the *estimated* and *true* output cardinalities (the planner annotates
+  both so the execution simulator and the "exact features" experiments can
+  use the truth while the optimizer-estimate experiments use the estimate),
+* the average output row width in bytes, and
+* a free-form ``props`` dictionary holding operator-specific metadata
+  (table/index names, predicate complexity, join/sort/grouping columns,
+  memory fractions, ...), documented per operator in
+  :mod:`repro.optimizer.planner`.
+
+The operator taxonomy follows the one the paper models (Table 2): scans,
+seeks, filters, sorts, hash/merge/nested-loop joins, hash/stream aggregates,
+plus Top and Compute Scalar which appear in realistic plans.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["OperatorType", "PlanOperator"]
+
+
+class OperatorType(enum.Enum):
+    """Physical operator types supported by the simulated engine."""
+
+    TABLE_SCAN = "Table Scan"
+    INDEX_SCAN = "Index Scan"
+    INDEX_SEEK = "Index Seek"
+    FILTER = "Filter"
+    COMPUTE_SCALAR = "Compute Scalar"
+    SORT = "Sort"
+    TOP = "Top"
+    HASH_JOIN = "Hash Join"
+    MERGE_JOIN = "Merge Join"
+    NESTED_LOOP_JOIN = "Nested Loop Join"
+    HASH_AGGREGATE = "Hash Aggregate"
+    STREAM_AGGREGATE = "Stream Aggregate"
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the operator reads a base table (has no plan children)."""
+        return self in (OperatorType.TABLE_SCAN, OperatorType.INDEX_SCAN, OperatorType.INDEX_SEEK)
+
+    @property
+    def is_join(self) -> bool:
+        return self in (
+            OperatorType.HASH_JOIN,
+            OperatorType.MERGE_JOIN,
+            OperatorType.NESTED_LOOP_JOIN,
+        )
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self in (OperatorType.HASH_AGGREGATE, OperatorType.STREAM_AGGREGATE)
+
+    @property
+    def is_blocking(self) -> bool:
+        """Operators that consume their (build) input before producing output.
+
+        Blocking operators delimit pipelines: Sort and Hash Aggregate fully
+        block; a Hash Join blocks its *build* (first) child only, which the
+        pipeline decomposition in :mod:`repro.plan.plan` accounts for.
+        """
+        return self in (
+            OperatorType.SORT,
+            OperatorType.HASH_AGGREGATE,
+            OperatorType.HASH_JOIN,
+        )
+
+
+_operator_ids = itertools.count()
+
+
+@dataclass
+class PlanOperator:
+    """A node in a physical plan tree."""
+
+    op_type: OperatorType
+    children: list["PlanOperator"] = field(default_factory=list)
+    #: Optimizer-estimated number of output rows.
+    est_rows: float = 0.0
+    #: True number of output rows (known to the simulator, not the optimizer).
+    true_rows: float = 0.0
+    #: Average output row width in bytes.
+    row_width: float = 0.0
+    #: Optimizer cost-model components (arbitrary cost units, not ms).
+    est_cpu_cost: float = 0.0
+    est_io_cost: float = 0.0
+    #: Operator-specific metadata (table name, index depth, sort columns...).
+    props: dict[str, Any] = field(default_factory=dict)
+    #: Unique id within the process; stable identity for metric dictionaries.
+    node_id: int = field(default_factory=lambda: next(_operator_ids))
+
+    # -- tree helpers -------------------------------------------------------------
+    def iter_subtree(self) -> Iterator["PlanOperator"]:
+        """Yield this operator and all descendants (pre-order)."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def iter_postorder(self) -> Iterator["PlanOperator"]:
+        """Yield descendants bottom-up (children before parents)."""
+        for child in self.children:
+            yield from child.iter_postorder()
+        yield self
+
+    @property
+    def n_children(self) -> int:
+        return len(self.children)
+
+    @property
+    def outer_child(self) -> "PlanOperator":
+        """First input (probe side of hash joins, outer side of NLJ/merge)."""
+        if not self.children:
+            raise ValueError(f"{self.op_type.value} has no children")
+        return self.children[0]
+
+    @property
+    def inner_child(self) -> "PlanOperator":
+        """Second input (build side of hash joins, inner side of NLJ/merge)."""
+        if len(self.children) < 2:
+            raise ValueError(f"{self.op_type.value} has fewer than two children")
+        return self.children[1]
+
+    # -- derived quantities ---------------------------------------------------------
+    def output_rows(self, estimated: bool) -> float:
+        """Output cardinality, estimated or true."""
+        return self.est_rows if estimated else self.true_rows
+
+    def output_bytes(self, estimated: bool) -> float:
+        """Total bytes produced (cardinality × average row width)."""
+        return self.output_rows(estimated) * self.row_width
+
+    def input_rows(self, estimated: bool) -> list[float]:
+        """Per-child input cardinalities, in child order."""
+        return [child.output_rows(estimated) for child in self.children]
+
+    def total_input_rows(self, estimated: bool) -> float:
+        return float(sum(self.input_rows(estimated)))
+
+    def describe(self, indent: int = 0) -> str:
+        """Render the subtree as an indented EXPLAIN-style string."""
+        pad = "  " * indent
+        detail = ""
+        if "table" in self.props:
+            detail = f" [{self.props['table']}]"
+        elif "index" in self.props:
+            detail = f" [{self.props['index']}]"
+        line = (
+            f"{pad}{self.op_type.value}{detail} "
+            f"(est_rows={self.est_rows:.0f}, true_rows={self.true_rows:.0f}, "
+            f"width={self.row_width:.0f}B)"
+        )
+        lines = [line]
+        for child in self.children:
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)

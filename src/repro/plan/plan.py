@@ -1,0 +1,113 @@
+"""Query plans and pipeline decomposition.
+
+A :class:`QueryPlan` wraps the root :class:`~repro.plan.operators.PlanOperator`
+of a physical operator tree together with the query it implements.  It also
+provides the **pipeline decomposition** the paper motivates in Section 5.2:
+a pipeline is a maximal set of concurrently executing operators, delimited by
+blocking operators (sorts, hash-aggregate builds, hash-join builds).  The
+estimator exposes per-pipeline estimates because pipelines that do not run
+concurrently never compete for resources — the property that matters for the
+scheduling use-case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.plan.operators import OperatorType, PlanOperator
+from repro.query.spec import QuerySpec
+
+__all__ = ["Pipeline", "QueryPlan"]
+
+
+@dataclass
+class Pipeline:
+    """A maximal set of concurrently executing operators."""
+
+    index: int
+    operators: list[PlanOperator] = field(default_factory=list)
+
+    @property
+    def operator_ids(self) -> set[int]:
+        return {op.node_id for op in self.operators}
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+
+@dataclass
+class QueryPlan:
+    """A physical execution plan for one query."""
+
+    query: QuerySpec
+    root: PlanOperator
+
+    # -- traversal -------------------------------------------------------------
+    def operators(self) -> list[PlanOperator]:
+        """All operators of the plan, pre-order from the root."""
+        return list(self.root.iter_subtree())
+
+    def operators_postorder(self) -> list[PlanOperator]:
+        return list(self.root.iter_postorder())
+
+    def operator_count(self) -> int:
+        return len(self.operators())
+
+    def count_by_type(self) -> dict[OperatorType, int]:
+        counts: dict[OperatorType, int] = {}
+        for op in self.operators():
+            counts[op.op_type] = counts.get(op.op_type, 0) + 1
+        return counts
+
+    @property
+    def total_estimated_cost(self) -> float:
+        """Total optimizer cost units of the plan (CPU + I/O components)."""
+        return float(sum(op.est_cpu_cost + op.est_io_cost for op in self.operators()))
+
+    # -- pipelines --------------------------------------------------------------
+    def pipelines(self) -> list[Pipeline]:
+        """Decompose the plan into pipelines.
+
+        The decomposition walks the tree assigning each operator to a
+        pipeline.  A new pipeline starts below every blocking edge:
+
+        * all children of a Sort / Hash Aggregate start a new pipeline
+          (their output is fully materialised before the parent produces
+          rows), and
+        * the *build* (second) child of a Hash Join starts a new pipeline,
+          while the probe (first) child stays in the parent's pipeline.
+        """
+        pipelines: list[Pipeline] = []
+
+        def new_pipeline() -> Pipeline:
+            pipeline = Pipeline(index=len(pipelines))
+            pipelines.append(pipeline)
+            return pipeline
+
+        def assign(op: PlanOperator, pipeline: Pipeline) -> None:
+            pipeline.operators.append(op)
+            if op.op_type == OperatorType.HASH_JOIN and len(op.children) == 2:
+                # Probe side streams into the join; build side is blocking.
+                assign(op.children[0], pipeline)
+                assign(op.children[1], new_pipeline())
+                return
+            if op.op_type in (OperatorType.SORT, OperatorType.HASH_AGGREGATE):
+                for child in op.children:
+                    assign(child, new_pipeline())
+                return
+            for child in op.children:
+                assign(child, pipeline)
+
+        assign(self.root, new_pipeline())
+        return pipelines
+
+    def pipeline_of(self, op: PlanOperator) -> int:
+        """Index of the pipeline containing ``op``."""
+        for pipeline in self.pipelines():
+            if op.node_id in pipeline.operator_ids:
+                return pipeline.index
+        raise KeyError(f"operator {op.node_id} is not part of this plan")
+
+    def describe(self) -> str:
+        """EXPLAIN-style rendering of the plan."""
+        return f"Plan for {self.query.name}\n{self.root.describe()}"

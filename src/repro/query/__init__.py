@@ -1,0 +1,33 @@
+"""Logical query substrate.
+
+A :class:`~repro.query.spec.QuerySpec` describes *what* a query computes
+(tables, filter predicates, join edges, grouping, ordering) without
+prescribing a physical plan; the optimizer subpackage turns specs into
+physical operator trees.  Workloads are defined as collections of
+:class:`~repro.query.templates.QueryTemplate` objects that instantiate specs
+with randomly drawn parameters, mirroring how the paper generates thousands
+of TPC-H queries with the QGEN tool.
+"""
+
+from repro.query.predicates import ColumnRef, Predicate, PredicateConjunction
+from repro.query.spec import (
+    AggregateSpec,
+    JoinEdge,
+    OrderBySpec,
+    QuerySpec,
+    TableRef,
+)
+from repro.query.templates import QueryTemplate, TemplateSet
+
+__all__ = [
+    "ColumnRef",
+    "Predicate",
+    "PredicateConjunction",
+    "AggregateSpec",
+    "JoinEdge",
+    "OrderBySpec",
+    "QuerySpec",
+    "TableRef",
+    "QueryTemplate",
+    "TemplateSet",
+]

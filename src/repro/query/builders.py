@@ -1,0 +1,100 @@
+"""Shared helpers used by the workload template modules.
+
+These helpers keep the template definitions short and declarative: drawing a
+random range/equality predicate on a column, assembling predicate
+conjunctions, and building join edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.predicates import ColumnRef, Predicate, PredicateConjunction
+
+__all__ = [
+    "range_predicate",
+    "eq_predicate",
+    "in_predicate",
+    "conjunction",
+]
+
+
+def range_predicate(
+    rng: np.random.Generator,
+    table: str,
+    column: str,
+    low: float,
+    high: float,
+    alias: str | None = None,
+    anchor: str | None = None,
+    complexity: int = 1,
+) -> Predicate:
+    """A range predicate covering a uniformly drawn fraction of the domain.
+
+    ``low``/``high`` bound the covered *domain fraction*; the anchor (head or
+    tail of the frequency-ranked domain) is drawn at random unless forced,
+    which gives the within-template variance in true selectivity that the
+    paper's skewed workloads exhibit.
+    """
+    if not 0.0 <= low <= high <= 1.0:
+        raise ValueError(f"invalid fraction bounds [{low}, {high}]")
+    fraction = float(rng.uniform(low, high))
+    if anchor is None:
+        anchor = "head" if rng.random() < 0.5 else "tail"
+    return Predicate(
+        column=ColumnRef(table, column, alias),
+        kind="range",
+        domain_fraction=fraction,
+        anchor=anchor,
+        complexity=complexity,
+    )
+
+
+def eq_predicate(
+    rng: np.random.Generator,
+    table: str,
+    column: str,
+    max_rank: int,
+    alias: str | None = None,
+    complexity: int = 1,
+) -> Predicate:
+    """An equality predicate against a randomly ranked value.
+
+    ``max_rank`` bounds how deep into the frequency ranking the parameter may
+    fall; under skew, rank 0 selects far more rows than rank ``max_rank``.
+    """
+    if max_rank < 1:
+        raise ValueError("max_rank must be >= 1")
+    rank = int(rng.integers(0, max_rank))
+    return Predicate(
+        column=ColumnRef(table, column, alias),
+        kind="eq",
+        value_rank=rank,
+        complexity=complexity,
+    )
+
+
+def in_predicate(
+    rng: np.random.Generator,
+    table: str,
+    column: str,
+    min_values: int,
+    max_values: int,
+    alias: str | None = None,
+    complexity: int = 2,
+) -> Predicate:
+    """An IN-list predicate with a random number of listed values."""
+    if not 1 <= min_values <= max_values:
+        raise ValueError("need 1 <= min_values <= max_values")
+    count = int(rng.integers(min_values, max_values + 1))
+    return Predicate(
+        column=ColumnRef(table, column, alias),
+        kind="in",
+        value_count=count,
+        complexity=complexity,
+    )
+
+
+def conjunction(*predicates: Predicate, correlation: float = 0.0) -> PredicateConjunction:
+    """Bundle predicates into a conjunction with the given true correlation."""
+    return PredicateConjunction(list(predicates), correlation=correlation)

@@ -1,0 +1,181 @@
+"""Filter predicates with *true* and *optimizer-estimated* selectivities.
+
+Each predicate knows two selectivities:
+
+* :meth:`Predicate.true_selectivity` — computed from the column's actual
+  value distribution (Zipf-aware); used by the engine simulator to determine
+  the rows that really flow through the plan.
+* :meth:`Predicate.estimated_selectivity` — computed from the optimizer's
+  histogram statistics; used by the planner, the optimizer cost model and
+  the "optimizer-estimated features" experiments.
+
+The gap between the two is the cardinality-estimation error that the paper's
+Tables 7–12 study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Catalog
+from repro.catalog.statistics import StatisticsCatalog
+
+__all__ = ["ColumnRef", "Predicate", "PredicateConjunction"]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (table, column) reference; ``alias`` distinguishes self-joins."""
+
+    table: str
+    column: str
+    alias: str | None = None
+
+    @property
+    def qualifier(self) -> str:
+        return self.alias or self.table
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.qualifier}.{self.column}"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single filter predicate.
+
+    Parameters
+    ----------
+    column:
+        The filtered column.
+    kind:
+        ``"eq"`` — equality against one value; ``"in"`` — membership in
+        ``value_count`` values; ``"range"`` — a range covering
+        ``domain_fraction`` of the value domain.
+    domain_fraction:
+        For ``range`` predicates, the covered fraction of the value domain.
+    value_rank:
+        For ``eq`` predicates, the frequency rank of the compared value
+        (0 = most frequent).
+    value_count:
+        For ``in`` predicates, the number of listed values (drawn from the
+        head of the domain).
+    anchor:
+        ``"head"`` or ``"tail"``: whether a range starts at the frequent or
+        the infrequent end of the domain.
+    complexity:
+        Number of elementary comparisons the predicate costs per row
+        (e.g. LIKE patterns or nested CASE expressions cost more than a
+        single comparison); feeds the engine's CPU model only.
+    """
+
+    column: ColumnRef
+    kind: str = "range"
+    domain_fraction: float = 0.1
+    value_rank: int = 0
+    value_count: int = 1
+    anchor: str = "head"
+    complexity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("eq", "in", "range"):
+            raise ValueError(f"unknown predicate kind {self.kind!r}")
+        if not 0.0 <= self.domain_fraction <= 1.0:
+            raise ValueError("domain_fraction must be within [0, 1]")
+        if self.complexity < 1:
+            raise ValueError("complexity must be >= 1")
+
+    # -- selectivities -----------------------------------------------------------
+    def true_selectivity(self, catalog: Catalog) -> float:
+        """Fraction of rows that actually satisfy the predicate."""
+        table = catalog.table(self.column.table)
+        column = table.column(self.column.column)
+        dist = column.resolved_distribution(table.row_count)
+        if self.kind == "eq":
+            return dist.eq_selectivity(self.value_rank)
+        if self.kind == "in":
+            ndv = column.resolved_ndv(table.row_count)
+            count = min(max(self.value_count, 1), ndv)
+            return sum(dist.eq_selectivity(rank) for rank in range(count))
+        return dist.range_selectivity(self.domain_fraction, anchor=self.anchor)
+
+    def estimated_selectivity(self, statistics: StatisticsCatalog) -> float:
+        """Selectivity as the optimizer estimates it from histograms."""
+        stats = statistics.column_statistics(self.column.table, self.column.column)
+        if self.kind == "eq":
+            return stats.estimated_eq_selectivity()
+        if self.kind == "in":
+            count = max(self.value_count, 1)
+            return min(count * stats.estimated_eq_selectivity(), 1.0)
+        return stats.estimated_range_selectivity(self.domain_fraction, anchor=self.anchor)
+
+    def is_sargable_on(self, leading_column: str) -> bool:
+        """Whether this predicate can drive an index seek on ``leading_column``."""
+        return self.column.column == leading_column
+
+
+@dataclass
+class PredicateConjunction:
+    """A conjunction (AND) of predicates over a single table reference.
+
+    ``correlation`` in ``[0, 1]`` controls how correlated the member
+    predicates really are: 0 means truly independent (the optimizer's
+    assumption happens to be correct), 1 means fully redundant (the true
+    combined selectivity equals the most selective member).  The optimizer
+    always multiplies individual estimates, so correlation > 0 produces the
+    classic under-estimation bias.
+    """
+
+    predicates: list[Predicate] = field(default_factory=list)
+    correlation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.correlation <= 1.0:
+            raise ValueError("correlation must be within [0, 1]")
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __bool__(self) -> bool:
+        return bool(self.predicates)
+
+    def __iter__(self):
+        return iter(self.predicates)
+
+    @property
+    def total_complexity(self) -> int:
+        """Total per-row comparison count of the conjunction."""
+        return sum(p.complexity for p in self.predicates)
+
+    def true_selectivity(self, catalog: Catalog) -> float:
+        """Combined true selectivity with the configured correlation."""
+        if not self.predicates:
+            return 1.0
+        sels = [p.true_selectivity(catalog) for p in self.predicates]
+        independent = 1.0
+        for sel in sels:
+            independent *= sel
+        fully_correlated = min(sels)
+        # Geometric interpolation between the independence and the
+        # full-redundancy extremes.
+        return float(independent ** (1.0 - self.correlation) * fully_correlated**self.correlation)
+
+    def estimated_selectivity(self, statistics: StatisticsCatalog) -> float:
+        """Combined selectivity under the optimizer's independence assumption."""
+        estimate = 1.0
+        for pred in self.predicates:
+            estimate *= pred.estimated_selectivity(statistics)
+        return float(estimate)
+
+    def sargable_predicate(self, leading_column: str) -> Predicate | None:
+        """The first member usable to seek an index led by ``leading_column``."""
+        for pred in self.predicates:
+            if pred.is_sargable_on(leading_column):
+                return pred
+        return None
+
+    def residual(self, excluded: Predicate | None) -> "PredicateConjunction":
+        """The conjunction without ``excluded`` (used for residual filters)."""
+        if excluded is None:
+            return self
+        remaining = [p for p in self.predicates if p is not excluded]
+        return PredicateConjunction(remaining, correlation=self.correlation)

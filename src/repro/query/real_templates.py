@@ -1,0 +1,540 @@
+"""Templates for the two synthetic "real-life" decision-support workloads.
+
+The paper's Real-1 workload (222 distinct queries over a 9 GB sales
+database) mostly joins 5–8 tables and contains nested sub-queries; Real-2
+(887 queries over 12 GB) typically joins ~12 tables.  Nested sub-queries are
+modelled as additional joins against the same fact tables (which is how the
+optimizer in the simulated engine would de-correlate them anyway).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.schema import Catalog
+from repro.query.builders import conjunction, eq_predicate, in_predicate, range_predicate
+from repro.query.spec import AggregateSpec, JoinEdge, OrderBySpec, QuerySpec, TableRef
+from repro.query.templates import QueryTemplate, TemplateSet
+
+__all__ = ["real1_template_set", "real2_template_set"]
+
+
+# ---------------------------------------------------------------------------
+# Real-1: sales / reporting workload, 5-8 table joins
+# ---------------------------------------------------------------------------
+
+def _r1_sales_by_region(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("fact_sales",
+                     predicates=conjunction(
+                         range_predicate(rng, "fact_sales", "date_key", 0.05, 0.3)),
+                     projected_columns=["sales_key", "date_key", "store_key", "customer_key",
+                                        "gross_amount", "discount_amount"]),
+            TableRef("fact_sales_line",
+                     projected_columns=["sales_key", "product_key", "quantity",
+                                        "extended_amount", "margin_amount"]),
+            TableRef("dim_store",
+                     predicates=conjunction(in_predicate(rng, "dim_store", "region", 1, 4)),
+                     projected_columns=["store_key", "region", "district"]),
+            TableRef("dim_product",
+                     predicates=conjunction(in_predicate(rng, "dim_product", "category", 2, 8)),
+                     projected_columns=["product_key", "category", "brand"]),
+            TableRef("dim_date",
+                     predicates=conjunction(eq_predicate(rng, "dim_date", "fiscal_year", 6)),
+                     projected_columns=["date_key", "fiscal_year", "fiscal_quarter"]),
+        ],
+        joins=[
+            JoinEdge("fact_sales", "sales_key", "fact_sales_line", "sales_key"),
+            JoinEdge("fact_sales", "store_key", "dim_store", "store_key"),
+            JoinEdge("fact_sales_line", "product_key", "dim_product", "product_key"),
+            JoinEdge("fact_sales", "date_key", "dim_date", "date_key"),
+        ],
+        aggregate=AggregateSpec(group_by={"dim_store": ["region"], "dim_product": ["category"]},
+                                n_aggregates=4),
+        order_by=OrderBySpec([("dim_store", "region"), ("dim_product", "category")]),
+    )
+
+
+def _r1_customer_loyalty(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("fact_sales",
+                     predicates=conjunction(
+                         range_predicate(rng, "fact_sales", "gross_amount", 0.1, 0.5)),
+                     projected_columns=["sales_key", "customer_key", "store_key", "date_key",
+                                        "gross_amount", "channel"]),
+            TableRef("dim_customer",
+                     predicates=conjunction(
+                         in_predicate(rng, "dim_customer", "loyalty_tier", 1, 3),
+                         in_predicate(rng, "dim_customer", "state", 2, 10),
+                         correlation=0.2),
+                     projected_columns=["customer_key", "loyalty_tier", "segment", "state"]),
+            TableRef("dim_store", projected_columns=["store_key", "region"]),
+            TableRef("dim_date",
+                     predicates=conjunction(
+                         range_predicate(rng, "dim_date", "calendar_date", 0.1, 0.4)),
+                     projected_columns=["date_key", "calendar_date"]),
+            TableRef("dim_employee", projected_columns=["employee_key", "role", "store_key"]),
+        ],
+        joins=[
+            JoinEdge("fact_sales", "customer_key", "dim_customer", "customer_key"),
+            JoinEdge("fact_sales", "store_key", "dim_store", "store_key"),
+            JoinEdge("fact_sales", "date_key", "dim_date", "date_key"),
+            JoinEdge("dim_employee", "store_key", "dim_store", "store_key"),
+        ],
+        aggregate=AggregateSpec(
+            group_by={"dim_customer": ["loyalty_tier", "segment"], "dim_store": ["region"]},
+            n_aggregates=3),
+        order_by=OrderBySpec([("dim_customer", "loyalty_tier")]),
+    )
+
+
+def _r1_product_margin(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("fact_sales_line",
+                     predicates=conjunction(
+                         range_predicate(rng, "fact_sales_line", "quantity", 0.2, 0.7)),
+                     projected_columns=["sales_key", "product_key", "quantity",
+                                        "extended_amount", "margin_amount", "unit_price"]),
+            TableRef("fact_sales", projected_columns=["sales_key", "date_key", "store_key"]),
+            TableRef("dim_product",
+                     predicates=conjunction(
+                         in_predicate(rng, "dim_product", "brand", 3, 15),
+                         eq_predicate(rng, "dim_product", "status", 4),
+                         correlation=0.1),
+                     projected_columns=["product_key", "brand", "subcategory", "status"]),
+            TableRef("dim_date",
+                     predicates=conjunction(eq_predicate(rng, "dim_date", "fiscal_quarter", 4)),
+                     projected_columns=["date_key", "fiscal_quarter"]),
+            TableRef("dim_store",
+                     predicates=conjunction(in_predicate(rng, "dim_store", "format", 1, 3)),
+                     projected_columns=["store_key", "format"]),
+        ],
+        joins=[
+            JoinEdge("fact_sales_line", "sales_key", "fact_sales", "sales_key"),
+            JoinEdge("fact_sales_line", "product_key", "dim_product", "product_key"),
+            JoinEdge("fact_sales", "date_key", "dim_date", "date_key"),
+            JoinEdge("fact_sales", "store_key", "dim_store", "store_key"),
+        ],
+        aggregate=AggregateSpec(group_by={"dim_product": ["brand", "subcategory"]},
+                                n_aggregates=4),
+        order_by=OrderBySpec([("dim_product", "brand")], descending=True),
+        limit=500,
+    )
+
+
+def _r1_inventory_coverage(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("fact_inventory",
+                     predicates=conjunction(
+                         range_predicate(rng, "fact_inventory", "date_key", 0.1, 0.5)),
+                     projected_columns=["date_key", "store_key", "product_key", "on_hand_qty"]),
+            TableRef("fact_sales_line",
+                     projected_columns=["product_key", "quantity", "extended_amount"]),
+            TableRef("dim_product",
+                     predicates=conjunction(in_predicate(rng, "dim_product", "category", 1, 5)),
+                     projected_columns=["product_key", "category"]),
+            TableRef("dim_store",
+                     predicates=conjunction(in_predicate(rng, "dim_store", "district", 2, 10)),
+                     projected_columns=["store_key", "district", "region"]),
+        ],
+        joins=[
+            JoinEdge("fact_inventory", "product_key", "dim_product", "product_key"),
+            JoinEdge("fact_sales_line", "product_key", "dim_product", "product_key"),
+            JoinEdge("fact_inventory", "store_key", "dim_store", "store_key"),
+        ],
+        aggregate=AggregateSpec(group_by={"dim_store": ["region"], "dim_product": ["category"]},
+                                n_aggregates=3),
+        order_by=OrderBySpec([("dim_store", "region")]),
+    )
+
+
+def _r1_channel_daily(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("fact_sales",
+                     predicates=conjunction(
+                         in_predicate(rng, "fact_sales", "channel", 1, 2),
+                         in_predicate(rng, "fact_sales", "payment_type", 1, 3),
+                         correlation=0.15),
+                     projected_columns=["date_key", "channel", "payment_type", "gross_amount",
+                                        "tax_amount"]),
+            TableRef("dim_date",
+                     predicates=conjunction(
+                         range_predicate(rng, "dim_date", "calendar_date", 0.05, 0.2)),
+                     projected_columns=["date_key", "calendar_date", "fiscal_month"]),
+        ],
+        joins=[JoinEdge("fact_sales", "date_key", "dim_date", "date_key")],
+        aggregate=AggregateSpec(group_by={"dim_date": ["fiscal_month"], "fact_sales": ["channel"]},
+                                n_aggregates=3),
+        order_by=OrderBySpec([("dim_date", "fiscal_month")]),
+    )
+
+
+def _r1_employee_performance(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("fact_sales",
+                     predicates=conjunction(
+                         range_predicate(rng, "fact_sales", "date_key", 0.2, 0.6)),
+                     projected_columns=["sales_key", "employee_key", "store_key", "gross_amount"]),
+            TableRef("fact_sales_line",
+                     projected_columns=["sales_key", "margin_amount"]),
+            TableRef("dim_employee",
+                     predicates=conjunction(in_predicate(rng, "dim_employee", "role", 2, 8)),
+                     projected_columns=["employee_key", "role", "store_key"]),
+            TableRef("dim_store",
+                     predicates=conjunction(in_predicate(rng, "dim_store", "region", 1, 4)),
+                     projected_columns=["store_key", "region"]),
+            TableRef("dim_customer", projected_columns=["customer_key", "segment"]),
+        ],
+        joins=[
+            JoinEdge("fact_sales", "sales_key", "fact_sales_line", "sales_key"),
+            JoinEdge("fact_sales", "employee_key", "dim_employee", "employee_key"),
+            JoinEdge("dim_employee", "store_key", "dim_store", "store_key"),
+            JoinEdge("fact_sales", "customer_key", "dim_customer", "customer_key"),
+        ],
+        aggregate=AggregateSpec(group_by={"dim_employee": ["role"], "dim_store": ["region"]},
+                                n_aggregates=2),
+        order_by=OrderBySpec([("dim_employee", "role")]),
+    )
+
+
+def _r1_top_customers(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("fact_sales",
+                     predicates=conjunction(
+                         range_predicate(rng, "fact_sales", "gross_amount", 0.02, 0.15,
+                                         anchor="tail")),
+                     projected_columns=["sales_key", "customer_key", "date_key", "gross_amount"]),
+            TableRef("dim_customer",
+                     projected_columns=["customer_key", "segment", "state", "lifetime_value"]),
+            TableRef("dim_date",
+                     predicates=conjunction(eq_predicate(rng, "dim_date", "fiscal_year", 6)),
+                     projected_columns=["date_key", "fiscal_year"]),
+        ],
+        joins=[
+            JoinEdge("fact_sales", "customer_key", "dim_customer", "customer_key"),
+            JoinEdge("fact_sales", "date_key", "dim_date", "date_key"),
+        ],
+        aggregate=AggregateSpec(
+            group_by={"dim_customer": ["customer_key", "segment", "state"]}, n_aggregates=2),
+        order_by=OrderBySpec([("dim_customer", "lifetime_value")], descending=True),
+        limit=100,
+    )
+
+
+def _r1_basket_detail_sort(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("fact_sales_line",
+                     predicates=conjunction(
+                         range_predicate(rng, "fact_sales_line", "extended_amount", 0.1, 0.5)),
+                     projected_columns=["sales_key", "product_key", "quantity", "unit_price",
+                                        "extended_amount", "margin_amount"]),
+            TableRef("dim_product",
+                     predicates=conjunction(in_predicate(rng, "dim_product", "subcategory", 5, 30)),
+                     projected_columns=["product_key", "subcategory", "list_price"]),
+        ],
+        joins=[JoinEdge("fact_sales_line", "product_key", "dim_product", "product_key")],
+        order_by=OrderBySpec([("fact_sales_line", "extended_amount")], descending=True),
+        limit=5000,
+    )
+
+
+def real1_template_set() -> TemplateSet:
+    """Real-1: sales/reporting decision support (paper: 222 queries, 5-8 joins)."""
+    return TemplateSet("real1", [
+        QueryTemplate("real1_sales_by_region", _r1_sales_by_region),
+        QueryTemplate("real1_customer_loyalty", _r1_customer_loyalty),
+        QueryTemplate("real1_product_margin", _r1_product_margin),
+        QueryTemplate("real1_inventory_coverage", _r1_inventory_coverage),
+        QueryTemplate("real1_channel_daily", _r1_channel_daily),
+        QueryTemplate("real1_employee_performance", _r1_employee_performance),
+        QueryTemplate("real1_top_customers", _r1_top_customers),
+        QueryTemplate("real1_basket_detail_sort", _r1_basket_detail_sort),
+    ])
+
+
+# ---------------------------------------------------------------------------
+# Real-2: ERP-style workload, ~12 table joins
+# ---------------------------------------------------------------------------
+
+def _r2_order_fulfilment(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("fact_order",
+                     predicates=conjunction(
+                         range_predicate(rng, "fact_order", "order_date_key", 0.05, 0.25)),
+                     projected_columns=["order_key", "account_key", "contact_key",
+                                        "order_date_key", "currency_key", "project_key",
+                                        "order_total"]),
+            TableRef("fact_order_line",
+                     projected_columns=["order_key", "item_key", "plant_key", "quantity",
+                                        "net_amount"]),
+            TableRef("fact_shipment",
+                     projected_columns=["order_key", "plant_key", "vendor_key", "freight_cost"]),
+            TableRef("fact_invoice",
+                     projected_columns=["order_key", "account_key", "invoice_amount",
+                                        "paid_flag"]),
+            TableRef("dim_account",
+                     predicates=conjunction(in_predicate(rng, "dim_account", "industry", 2, 10)),
+                     projected_columns=["account_key", "industry", "country"]),
+            TableRef("dim_contact", projected_columns=["contact_key", "role"]),
+            TableRef("dim_item",
+                     predicates=conjunction(in_predicate(rng, "dim_item", "item_group", 3, 20)),
+                     projected_columns=["item_key", "item_group"]),
+            TableRef("dim_plant", projected_columns=["plant_key", "plant_region"]),
+            TableRef("dim_vendor",
+                     predicates=conjunction(range_predicate(rng, "dim_vendor", "vendor_rating",
+                                                            0.2, 0.6)),
+                     projected_columns=["vendor_key", "vendor_rating"]),
+            TableRef("dim_currency", projected_columns=["currency_key", "iso_code"]),
+            TableRef("dim_project",
+                     predicates=conjunction(eq_predicate(rng, "dim_project", "project_status", 6)),
+                     projected_columns=["project_key", "project_status", "project_type"]),
+            TableRef("dim_calendar",
+                     predicates=conjunction(eq_predicate(rng, "dim_calendar", "fiscal_year", 7)),
+                     projected_columns=["date_key", "fiscal_year", "fiscal_period"]),
+        ],
+        joins=[
+            JoinEdge("fact_order", "order_key", "fact_order_line", "order_key"),
+            JoinEdge("fact_order", "order_key", "fact_shipment", "order_key"),
+            JoinEdge("fact_order", "order_key", "fact_invoice", "order_key"),
+            JoinEdge("fact_order", "account_key", "dim_account", "account_key"),
+            JoinEdge("fact_order", "contact_key", "dim_contact", "contact_key"),
+            JoinEdge("fact_order_line", "item_key", "dim_item", "item_key"),
+            JoinEdge("fact_order_line", "plant_key", "dim_plant", "plant_key"),
+            JoinEdge("fact_shipment", "vendor_key", "dim_vendor", "vendor_key"),
+            JoinEdge("fact_order", "currency_key", "dim_currency", "currency_key"),
+            JoinEdge("fact_order", "project_key", "dim_project", "project_key"),
+            JoinEdge("fact_order", "order_date_key", "dim_calendar", "date_key"),
+        ],
+        aggregate=AggregateSpec(
+            group_by={"dim_account": ["industry"], "dim_plant": ["plant_region"]},
+            n_aggregates=4),
+        order_by=OrderBySpec([("dim_account", "industry")]),
+    )
+
+
+def _r2_project_costing(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("fact_gl_entry",
+                     predicates=conjunction(
+                         range_predicate(rng, "fact_gl_entry", "posting_date_key", 0.1, 0.3)),
+                     projected_columns=["gl_key", "costcenter_key", "account_key", "project_key",
+                                        "posting_date_key", "debit_amount", "credit_amount"]),
+            TableRef("fact_order",
+                     projected_columns=["order_key", "project_key", "account_key", "order_total"]),
+            TableRef("fact_invoice",
+                     projected_columns=["order_key", "invoice_amount", "paid_flag"]),
+            TableRef("dim_project",
+                     predicates=conjunction(in_predicate(rng, "dim_project", "project_type", 2, 8)),
+                     projected_columns=["project_key", "project_type", "project_status"]),
+            TableRef("dim_costcenter",
+                     predicates=conjunction(in_predicate(rng, "dim_costcenter", "department", 3, 25)),
+                     projected_columns=["costcenter_key", "department"]),
+            TableRef("dim_account",
+                     predicates=conjunction(in_predicate(rng, "dim_account", "account_tier", 1, 3)),
+                     projected_columns=["account_key", "account_tier", "industry"]),
+            TableRef("dim_calendar",
+                     predicates=conjunction(
+                         range_predicate(rng, "dim_calendar", "fiscal_period", 0.1, 0.3)),
+                     projected_columns=["date_key", "fiscal_period"]),
+            TableRef("dim_contact", projected_columns=["contact_key", "account_key", "role"]),
+            TableRef("dim_currency", projected_columns=["currency_key", "iso_code"]),
+            TableRef("fact_shipment", projected_columns=["order_key", "freight_cost"]),
+            TableRef("dim_plant", projected_columns=["plant_key", "plant_region"]),
+            TableRef("fact_order_line", projected_columns=["order_key", "plant_key", "net_amount"]),
+        ],
+        joins=[
+            JoinEdge("fact_gl_entry", "project_key", "dim_project", "project_key"),
+            JoinEdge("fact_gl_entry", "costcenter_key", "dim_costcenter", "costcenter_key"),
+            JoinEdge("fact_gl_entry", "account_key", "dim_account", "account_key"),
+            JoinEdge("fact_gl_entry", "posting_date_key", "dim_calendar", "date_key"),
+            JoinEdge("fact_order", "project_key", "dim_project", "project_key"),
+            JoinEdge("fact_order", "order_key", "fact_invoice", "order_key"),
+            JoinEdge("dim_contact", "account_key", "dim_account", "account_key"),
+            JoinEdge("fact_order", "currency_key", "dim_currency", "currency_key"),
+            JoinEdge("fact_order", "order_key", "fact_shipment", "order_key"),
+            JoinEdge("fact_order", "order_key", "fact_order_line", "order_key"),
+            JoinEdge("fact_order_line", "plant_key", "dim_plant", "plant_key"),
+        ],
+        aggregate=AggregateSpec(
+            group_by={"dim_project": ["project_type"], "dim_costcenter": ["department"]},
+            n_aggregates=5),
+        order_by=OrderBySpec([("dim_project", "project_type")]),
+    )
+
+
+def _r2_receivables_aging(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("fact_invoice",
+                     predicates=conjunction(
+                         eq_predicate(rng, "fact_invoice", "paid_flag", 2),
+                         range_predicate(rng, "fact_invoice", "invoice_date_key", 0.1, 0.4),
+                         correlation=0.1),
+                     projected_columns=["invoice_key", "order_key", "account_key",
+                                        "invoice_date_key", "currency_key", "invoice_amount",
+                                        "paid_flag"]),
+            TableRef("fact_order",
+                     projected_columns=["order_key", "account_key", "contact_key", "order_total"]),
+            TableRef("dim_account",
+                     predicates=conjunction(in_predicate(rng, "dim_account", "country", 3, 15)),
+                     projected_columns=["account_key", "country", "industry", "credit_limit"]),
+            TableRef("dim_contact", projected_columns=["contact_key", "role"]),
+            TableRef("dim_currency", projected_columns=["currency_key", "iso_code"]),
+            TableRef("dim_calendar",
+                     predicates=conjunction(
+                         range_predicate(rng, "dim_calendar", "fiscal_period", 0.2, 0.5)),
+                     projected_columns=["date_key", "fiscal_period", "fiscal_year"]),
+            TableRef("fact_gl_entry",
+                     projected_columns=["account_key", "debit_amount", "credit_amount"]),
+            TableRef("dim_costcenter", projected_columns=["costcenter_key", "department"]),
+        ],
+        joins=[
+            JoinEdge("fact_invoice", "order_key", "fact_order", "order_key"),
+            JoinEdge("fact_invoice", "account_key", "dim_account", "account_key"),
+            JoinEdge("fact_order", "contact_key", "dim_contact", "contact_key"),
+            JoinEdge("fact_invoice", "currency_key", "dim_currency", "currency_key"),
+            JoinEdge("fact_invoice", "invoice_date_key", "dim_calendar", "date_key"),
+            JoinEdge("fact_gl_entry", "account_key", "dim_account", "account_key"),
+            JoinEdge("fact_gl_entry", "costcenter_key", "dim_costcenter", "costcenter_key"),
+        ],
+        aggregate=AggregateSpec(group_by={"dim_account": ["country", "industry"]}, n_aggregates=3),
+        order_by=OrderBySpec([("dim_account", "country")]),
+    )
+
+
+def _r2_supply_chain(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("fact_shipment",
+                     predicates=conjunction(
+                         range_predicate(rng, "fact_shipment", "ship_date_key", 0.1, 0.35)),
+                     projected_columns=["shipment_key", "order_key", "plant_key", "vendor_key",
+                                        "ship_date_key", "freight_cost", "weight_kg"]),
+            TableRef("fact_order_line",
+                     projected_columns=["order_key", "item_key", "plant_key", "quantity",
+                                        "net_amount", "cost_amount"]),
+            TableRef("fact_order", projected_columns=["order_key", "account_key", "order_status"]),
+            TableRef("dim_vendor",
+                     predicates=conjunction(in_predicate(rng, "dim_vendor", "vendor_country", 2, 10)),
+                     projected_columns=["vendor_key", "vendor_country", "vendor_rating"]),
+            TableRef("dim_item",
+                     predicates=conjunction(eq_predicate(rng, "dim_item", "item_status", 5)),
+                     projected_columns=["item_key", "item_group", "item_status", "standard_cost"]),
+            TableRef("dim_plant",
+                     predicates=conjunction(in_predicate(rng, "dim_plant", "plant_region", 1, 5)),
+                     projected_columns=["plant_key", "plant_region"]),
+            TableRef("dim_calendar",
+                     predicates=conjunction(eq_predicate(rng, "dim_calendar", "fiscal_year", 7)),
+                     projected_columns=["date_key", "fiscal_year"]),
+            TableRef("dim_account", projected_columns=["account_key", "industry"]),
+            TableRef("dim_project", projected_columns=["project_key", "project_type"]),
+            TableRef("fact_invoice", projected_columns=["order_key", "invoice_amount"]),
+        ],
+        joins=[
+            JoinEdge("fact_shipment", "order_key", "fact_order", "order_key"),
+            JoinEdge("fact_order", "order_key", "fact_order_line", "order_key"),
+            JoinEdge("fact_shipment", "vendor_key", "dim_vendor", "vendor_key"),
+            JoinEdge("fact_order_line", "item_key", "dim_item", "item_key"),
+            JoinEdge("fact_shipment", "plant_key", "dim_plant", "plant_key"),
+            JoinEdge("fact_shipment", "ship_date_key", "dim_calendar", "date_key"),
+            JoinEdge("fact_order", "account_key", "dim_account", "account_key"),
+            JoinEdge("fact_order", "project_key", "dim_project", "project_key"),
+            JoinEdge("fact_order", "order_key", "fact_invoice", "order_key"),
+        ],
+        aggregate=AggregateSpec(
+            group_by={"dim_vendor": ["vendor_country"], "dim_plant": ["plant_region"]},
+            n_aggregates=4),
+        order_by=OrderBySpec([("dim_vendor", "vendor_country")]),
+    )
+
+
+def _r2_gl_trial_balance(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("fact_gl_entry",
+                     predicates=conjunction(
+                         range_predicate(rng, "fact_gl_entry", "posting_date_key", 0.2, 0.6)),
+                     projected_columns=["gl_key", "costcenter_key", "account_key", "project_key",
+                                        "posting_date_key", "debit_amount", "credit_amount"]),
+            TableRef("dim_costcenter",
+                     projected_columns=["costcenter_key", "department", "cc_code"]),
+            TableRef("dim_account",
+                     predicates=conjunction(in_predicate(rng, "dim_account", "account_tier", 1, 4)),
+                     projected_columns=["account_key", "account_tier"]),
+            TableRef("dim_calendar",
+                     predicates=conjunction(
+                         range_predicate(rng, "dim_calendar", "fiscal_period", 0.05, 0.2)),
+                     projected_columns=["date_key", "fiscal_period"]),
+            TableRef("dim_project", projected_columns=["project_key", "project_type"]),
+        ],
+        joins=[
+            JoinEdge("fact_gl_entry", "costcenter_key", "dim_costcenter", "costcenter_key"),
+            JoinEdge("fact_gl_entry", "account_key", "dim_account", "account_key"),
+            JoinEdge("fact_gl_entry", "posting_date_key", "dim_calendar", "date_key"),
+            JoinEdge("fact_gl_entry", "project_key", "dim_project", "project_key"),
+        ],
+        aggregate=AggregateSpec(
+            group_by={"dim_costcenter": ["department"], "dim_calendar": ["fiscal_period"]},
+            n_aggregates=2),
+        order_by=OrderBySpec([("dim_costcenter", "department")]),
+    )
+
+
+def _r2_order_detail_export(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    """A wide sorted export of order lines for a selective account filter."""
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("fact_order",
+                     predicates=conjunction(
+                         range_predicate(rng, "fact_order", "account_key", 0.001, 0.02)),
+                     projected_columns=["order_key", "account_key", "order_date_key",
+                                        "order_total", "order_status"]),
+            TableRef("fact_order_line",
+                     projected_columns=["order_key", "item_key", "quantity", "net_amount",
+                                        "cost_amount"]),
+            TableRef("dim_item", projected_columns=["item_key", "item_code", "item_group"]),
+            TableRef("dim_account", projected_columns=["account_key", "account_code"]),
+        ],
+        joins=[
+            JoinEdge("fact_order", "order_key", "fact_order_line", "order_key"),
+            JoinEdge("fact_order_line", "item_key", "dim_item", "item_key"),
+            JoinEdge("fact_order", "account_key", "dim_account", "account_key"),
+        ],
+        order_by=OrderBySpec([("fact_order", "order_total")], descending=True),
+    )
+
+
+def real2_template_set() -> TemplateSet:
+    """Real-2: ERP-style decision support (paper: 887 queries, ~12 joins)."""
+    return TemplateSet("real2", [
+        QueryTemplate("real2_order_fulfilment", _r2_order_fulfilment),
+        QueryTemplate("real2_project_costing", _r2_project_costing),
+        QueryTemplate("real2_receivables_aging", _r2_receivables_aging),
+        QueryTemplate("real2_supply_chain", _r2_supply_chain),
+        QueryTemplate("real2_gl_trial_balance", _r2_gl_trial_balance),
+        QueryTemplate("real2_order_detail_export", _r2_order_detail_export),
+    ])

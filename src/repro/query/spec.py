@@ -1,0 +1,210 @@
+"""Logical query specification.
+
+A :class:`QuerySpec` is a declarative description of a select-project-join
+query with optional grouping, ordering and a row limit.  It is independent
+of any physical plan; the planner (``repro.optimizer.planner``) chooses
+access paths, join order and join algorithms from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.predicates import PredicateConjunction
+
+__all__ = ["TableRef", "JoinEdge", "AggregateSpec", "OrderBySpec", "QuerySpec"]
+
+
+@dataclass
+class TableRef:
+    """A reference to one base table in a query.
+
+    Parameters
+    ----------
+    table:
+        Base table name.
+    alias:
+        Alias used to refer to this occurrence (defaults to the table name);
+        must be unique within the query.
+    predicates:
+        Conjunction of filter predicates applied to this table.
+    projected_columns:
+        Columns of this table the query actually needs upstream (select
+        list, join keys, grouping columns...).  ``None`` means all columns.
+    """
+
+    table: str
+    alias: str | None = None
+    predicates: PredicateConjunction = field(default_factory=PredicateConjunction)
+    projected_columns: list[str] | None = None
+
+    def __post_init__(self) -> None:
+        if self.alias is None:
+            self.alias = self.table
+
+    @property
+    def name(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An equi-join edge between two table references.
+
+    ``left``/``right`` are aliases of :class:`TableRef` objects in the same
+    query; ``left_column``/``right_column`` are the join columns.
+    """
+
+    left: str
+    left_column: str
+    right: str
+    right_column: str
+
+    def touches(self, alias: str) -> bool:
+        return alias in (self.left, self.right)
+
+    def other(self, alias: str) -> str:
+        if alias == self.left:
+            return self.right
+        if alias == self.right:
+            return self.left
+        raise ValueError(f"alias {alias!r} is not part of this join edge")
+
+    def column_for(self, alias: str) -> str:
+        if alias == self.left:
+            return self.left_column
+        if alias == self.right:
+            return self.right_column
+        raise ValueError(f"alias {alias!r} is not part of this join edge")
+
+
+@dataclass
+class AggregateSpec:
+    """Grouping and aggregation description.
+
+    ``group_by`` maps aliases to the grouped columns of that alias; an empty
+    mapping means a scalar aggregate producing a single row.
+    ``n_aggregates`` is the number of aggregate expressions computed
+    (``SUM``/``AVG``/``COUNT`` ... all cost roughly the same in the engine).
+    """
+
+    group_by: dict[str, list[str]] = field(default_factory=dict)
+    n_aggregates: int = 1
+
+    @property
+    def is_scalar(self) -> bool:
+        return not any(cols for cols in self.group_by.values())
+
+    @property
+    def grouping_columns(self) -> list[tuple[str, str]]:
+        """Flat (alias, column) list of grouping columns."""
+        pairs: list[tuple[str, str]] = []
+        for alias, cols in self.group_by.items():
+            pairs.extend((alias, col) for col in cols)
+        return pairs
+
+
+@dataclass
+class OrderBySpec:
+    """Ordering requirement on the query result."""
+
+    columns: list[tuple[str, str]] = field(default_factory=list)
+    descending: bool = False
+
+
+@dataclass
+class QuerySpec:
+    """A full logical query.
+
+    Attributes
+    ----------
+    name:
+        Unique-ish identifier, usually ``"<template>#<sequence>"``.
+    template:
+        Identifier of the template that generated this query.
+    tables:
+        Table references (at least one).
+    joins:
+        Equi-join edges connecting the references; the join graph must be
+        connected (checked by :meth:`validate`).
+    aggregate / order_by / limit:
+        Optional grouping, ordering and row limit.
+    """
+
+    name: str
+    tables: list[TableRef]
+    joins: list[JoinEdge] = field(default_factory=list)
+    aggregate: AggregateSpec | None = None
+    order_by: OrderBySpec | None = None
+    limit: int | None = None
+    template: str = ""
+
+    # -- lookup -----------------------------------------------------------------
+    def table_ref(self, alias: str) -> TableRef:
+        for ref in self.tables:
+            if ref.name == alias:
+                return ref
+        raise KeyError(f"query {self.name!r} has no table reference {alias!r}")
+
+    @property
+    def aliases(self) -> list[str]:
+        return [ref.name for ref in self.tables]
+
+    @property
+    def n_joins(self) -> int:
+        return len(self.joins)
+
+    def joins_touching(self, alias: str) -> list[JoinEdge]:
+        return [edge for edge in self.joins if edge.touches(alias)]
+
+    # -- validation ---------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the spec is structurally inconsistent."""
+        if not self.tables:
+            raise ValueError(f"query {self.name!r} has no table references")
+        aliases = self.aliases
+        if len(aliases) != len(set(aliases)):
+            raise ValueError(f"query {self.name!r} has duplicate table aliases")
+        alias_set = set(aliases)
+        for edge in self.joins:
+            if edge.left not in alias_set or edge.right not in alias_set:
+                raise ValueError(
+                    f"query {self.name!r}: join edge {edge} references unknown alias"
+                )
+        if len(self.tables) > 1:
+            self._check_connected(alias_set)
+        if self.aggregate is not None:
+            for alias, _column in self.aggregate.grouping_columns:
+                if alias not in alias_set:
+                    raise ValueError(
+                        f"query {self.name!r}: group-by references unknown alias {alias!r}"
+                    )
+        if self.order_by is not None:
+            for alias, _column in self.order_by.columns:
+                if alias not in alias_set:
+                    raise ValueError(
+                        f"query {self.name!r}: order-by references unknown alias {alias!r}"
+                    )
+        if self.limit is not None and self.limit <= 0:
+            raise ValueError(f"query {self.name!r}: limit must be positive")
+
+    def _check_connected(self, alias_set: set[str]) -> None:
+        """Verify the join graph connects all table references."""
+        if not self.joins:
+            raise ValueError(
+                f"query {self.name!r} has {len(self.tables)} tables but no join edges"
+            )
+        reached = {self.tables[0].name}
+        frontier = [self.tables[0].name]
+        while frontier:
+            current = frontier.pop()
+            for edge in self.joins_touching(current):
+                other = edge.other(current)
+                if other not in reached:
+                    reached.add(other)
+                    frontier.append(other)
+        missing = alias_set - reached
+        if missing:
+            raise ValueError(
+                f"query {self.name!r}: join graph is disconnected; unreachable: {sorted(missing)}"
+            )

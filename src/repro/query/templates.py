@@ -1,0 +1,95 @@
+"""Query-template framework (the QGEN stand-in).
+
+A :class:`QueryTemplate` couples a name with a builder callable that, given
+a random generator and a catalog, produces a parameterised
+:class:`~repro.query.spec.QuerySpec`.  A :class:`TemplateSet` instantiates a
+whole workload by cycling over its templates with independent random
+parameter draws — this mirrors how the paper generates >2500 TPC-H queries
+from the benchmark templates with random QGEN parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.catalog.schema import Catalog
+from repro.data.rng import make_rng
+from repro.query.spec import QuerySpec
+
+__all__ = ["QueryTemplate", "TemplateSet"]
+
+#: Signature of a template builder: (rng, catalog, query_name) -> QuerySpec.
+TemplateBuilder = Callable[[np.random.Generator, Catalog, str], QuerySpec]
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A named, parameterisable query template."""
+
+    name: str
+    builder: TemplateBuilder
+    #: Relative weight when sampling templates non-uniformly.
+    weight: float = 1.0
+
+    def instantiate(self, rng: np.random.Generator, catalog: Catalog, sequence: int) -> QuerySpec:
+        """Build one concrete query from this template."""
+        query_name = f"{self.name}#{sequence}"
+        spec = self.builder(rng, catalog, query_name)
+        spec.template = self.name
+        spec.validate()
+        return spec
+
+
+class TemplateSet:
+    """An ordered collection of templates forming a workload definition."""
+
+    def __init__(self, name: str, templates: Iterable[QueryTemplate]) -> None:
+        self.name = name
+        self.templates = list(templates)
+        if not self.templates:
+            raise ValueError(f"template set {name!r} is empty")
+        names = [t.name for t in self.templates]
+        if len(names) != len(set(names)):
+            raise ValueError(f"template set {name!r} has duplicate template names")
+
+    def __len__(self) -> int:
+        return len(self.templates)
+
+    def __iter__(self):
+        return iter(self.templates)
+
+    def template(self, name: str) -> QueryTemplate:
+        for tpl in self.templates:
+            if tpl.name == name:
+                return tpl
+        raise KeyError(f"template set {self.name!r} has no template {name!r}")
+
+    def generate(
+        self,
+        catalog: Catalog,
+        n_queries: int,
+        seed: int = 0,
+        round_robin: bool = True,
+    ) -> list[QuerySpec]:
+        """Instantiate ``n_queries`` queries against ``catalog``.
+
+        With ``round_robin`` the templates are cycled in order (so every
+        template contributes ~equally, as QGEN streams do); otherwise
+        templates are sampled proportionally to their weights.
+        """
+        if n_queries < 0:
+            raise ValueError("n_queries must be >= 0")
+        rng = make_rng(seed, "templates", self.name, catalog.name)
+        weights = np.array([t.weight for t in self.templates], dtype=np.float64)
+        weights = weights / weights.sum()
+        queries: list[QuerySpec] = []
+        for i in range(n_queries):
+            if round_robin:
+                template = self.templates[i % len(self.templates)]
+            else:
+                template = self.templates[int(rng.choice(len(self.templates), p=weights))]
+            queries.append(template.instantiate(rng, catalog, sequence=i))
+        return queries

@@ -1,0 +1,331 @@
+"""TPC-DS-style query templates (cross-workload generalisation test set).
+
+Structural approximations of common TPC-DS query shapes over the subset
+schema in :mod:`repro.catalog.tpcds`: star joins of one or more sales fact
+tables with date/item/customer/store dimensions, selective dimension
+filters, grouping and top-k ordering.  These plans differ from TPC-H in
+table widths, join fan-outs and plan depth, which is exactly why the paper
+uses TPC-DS to test generalisation of models trained on TPC-H.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.schema import Catalog
+from repro.query.builders import conjunction, eq_predicate, in_predicate, range_predicate
+from repro.query.spec import AggregateSpec, JoinEdge, OrderBySpec, QuerySpec, TableRef
+from repro.query.templates import QueryTemplate, TemplateSet
+
+__all__ = ["tpcds_template_set"]
+
+
+def _store_sales_by_item(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("store_sales",
+                     projected_columns=["ss_sold_date_sk", "ss_item_sk", "ss_quantity",
+                                        "ss_ext_sales_price", "ss_net_profit"]),
+            TableRef("date_dim",
+                     predicates=conjunction(
+                         eq_predicate(rng, "date_dim", "d_year", 10),
+                         eq_predicate(rng, "date_dim", "d_moy", 12),
+                         correlation=0.0),
+                     projected_columns=["d_date_sk", "d_year", "d_moy"]),
+            TableRef("item",
+                     predicates=conjunction(in_predicate(rng, "item", "i_category", 1, 3)),
+                     projected_columns=["i_item_sk", "i_item_id", "i_category"]),
+        ],
+        joins=[
+            JoinEdge("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"),
+            JoinEdge("store_sales", "ss_item_sk", "item", "i_item_sk"),
+        ],
+        aggregate=AggregateSpec(group_by={"item": ["i_item_id", "i_category"]}, n_aggregates=3),
+        order_by=OrderBySpec([("item", "i_item_id")]),
+        limit=100,
+    )
+
+
+def _customer_state_report(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("store_sales",
+                     projected_columns=["ss_sold_date_sk", "ss_customer_sk", "ss_ext_sales_price"]),
+            TableRef("customer", projected_columns=["c_customer_sk", "c_current_addr_sk"]),
+            TableRef("customer_address",
+                     predicates=conjunction(in_predicate(rng, "customer_address", "ca_state", 2, 6)),
+                     projected_columns=["ca_address_sk", "ca_state"]),
+            TableRef("date_dim",
+                     predicates=conjunction(eq_predicate(rng, "date_dim", "d_year", 10)),
+                     projected_columns=["d_date_sk", "d_year"]),
+        ],
+        joins=[
+            JoinEdge("store_sales", "ss_customer_sk", "customer", "c_customer_sk"),
+            JoinEdge("customer", "c_current_addr_sk", "customer_address", "ca_address_sk"),
+            JoinEdge("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"),
+        ],
+        aggregate=AggregateSpec(group_by={"customer_address": ["ca_state"]}, n_aggregates=2),
+        order_by=OrderBySpec([("customer_address", "ca_state")]),
+    )
+
+
+def _catalog_web_union_style(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    """Catalog-sales star with warehouse and promotion dimensions."""
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("catalog_sales",
+                     predicates=conjunction(
+                         range_predicate(rng, "catalog_sales", "cs_quantity", 0.2, 0.6)),
+                     projected_columns=["cs_sold_date_sk", "cs_item_sk", "cs_promo_sk",
+                                        "cs_quantity", "cs_ext_sales_price"]),
+            TableRef("date_dim",
+                     predicates=conjunction(
+                         range_predicate(rng, "date_dim", "d_month_seq", 0.02, 0.08)),
+                     projected_columns=["d_date_sk", "d_month_seq"]),
+            TableRef("item",
+                     predicates=conjunction(in_predicate(rng, "item", "i_class", 3, 8)),
+                     projected_columns=["i_item_sk", "i_class", "i_current_price"]),
+            TableRef("promotion",
+                     predicates=conjunction(eq_predicate(rng, "promotion", "p_channel_email", 2)),
+                     projected_columns=["p_promo_sk", "p_channel_email"]),
+        ],
+        joins=[
+            JoinEdge("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk"),
+            JoinEdge("catalog_sales", "cs_item_sk", "item", "i_item_sk"),
+            JoinEdge("catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk"),
+        ],
+        aggregate=AggregateSpec(group_by={"item": ["i_class"]}, n_aggregates=2),
+        order_by=OrderBySpec([("item", "i_class")]),
+    )
+
+
+def _web_sales_trend(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("web_sales",
+                     projected_columns=["ws_sold_date_sk", "ws_item_sk", "ws_ext_sales_price",
+                                        "ws_net_profit"]),
+            TableRef("date_dim",
+                     predicates=conjunction(
+                         range_predicate(rng, "date_dim", "d_month_seq", 0.01, 0.05)),
+                     projected_columns=["d_date_sk", "d_month_seq", "d_moy"]),
+            TableRef("item",
+                     predicates=conjunction(in_predicate(rng, "item", "i_color", 3, 10)),
+                     projected_columns=["i_item_sk", "i_color", "i_brand"]),
+        ],
+        joins=[
+            JoinEdge("web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk"),
+            JoinEdge("web_sales", "ws_item_sk", "item", "i_item_sk"),
+        ],
+        aggregate=AggregateSpec(group_by={"item": ["i_brand"], "date_dim": ["d_moy"]},
+                                n_aggregates=2),
+        order_by=OrderBySpec([("date_dim", "d_moy")]),
+        limit=100,
+    )
+
+
+def _inventory_positions(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("inventory",
+                     predicates=conjunction(
+                         range_predicate(rng, "inventory", "inv_quantity_on_hand", 0.1, 0.5)),
+                     projected_columns=["inv_date_sk", "inv_item_sk", "inv_warehouse_sk",
+                                        "inv_quantity_on_hand"]),
+            TableRef("date_dim",
+                     predicates=conjunction(eq_predicate(rng, "date_dim", "d_qoy", 4)),
+                     projected_columns=["d_date_sk", "d_qoy"]),
+            TableRef("item",
+                     predicates=conjunction(
+                         range_predicate(rng, "item", "i_current_price", 0.2, 0.6)),
+                     projected_columns=["i_item_sk", "i_current_price"]),
+            TableRef("warehouse", projected_columns=["w_warehouse_sk", "w_warehouse_name"]),
+        ],
+        joins=[
+            JoinEdge("inventory", "inv_date_sk", "date_dim", "d_date_sk"),
+            JoinEdge("inventory", "inv_item_sk", "item", "i_item_sk"),
+            JoinEdge("inventory", "inv_warehouse_sk", "warehouse", "w_warehouse_sk"),
+        ],
+        aggregate=AggregateSpec(group_by={"warehouse": ["w_warehouse_name"]}, n_aggregates=1),
+        order_by=OrderBySpec([("warehouse", "w_warehouse_name")]),
+    )
+
+
+def _store_returns_analysis(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("store_returns",
+                     projected_columns=["sr_returned_date_sk", "sr_item_sk", "sr_customer_sk",
+                                        "sr_return_amt"]),
+            TableRef("store_sales",
+                     projected_columns=["ss_item_sk", "ss_customer_sk", "ss_ticket_number",
+                                        "ss_ext_sales_price"]),
+            TableRef("date_dim",
+                     predicates=conjunction(eq_predicate(rng, "date_dim", "d_year", 10)),
+                     projected_columns=["d_date_sk", "d_year"]),
+            TableRef("item",
+                     predicates=conjunction(in_predicate(rng, "item", "i_category", 1, 2)),
+                     projected_columns=["i_item_sk", "i_category"]),
+        ],
+        joins=[
+            JoinEdge("store_returns", "sr_returned_date_sk", "date_dim", "d_date_sk"),
+            JoinEdge("store_returns", "sr_item_sk", "item", "i_item_sk"),
+            JoinEdge("store_returns", "sr_customer_sk", "store_sales", "ss_customer_sk"),
+        ],
+        aggregate=AggregateSpec(group_by={"item": ["i_category"]}, n_aggregates=2),
+        order_by=OrderBySpec([("item", "i_category")]),
+    )
+
+
+def _demographics_profile(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("store_sales",
+                     projected_columns=["ss_cdemo_sk", "ss_sold_date_sk", "ss_quantity",
+                                        "ss_sales_price"]),
+            TableRef("customer_demographics",
+                     predicates=conjunction(
+                         eq_predicate(rng, "customer_demographics", "cd_gender", 2),
+                         eq_predicate(rng, "customer_demographics", "cd_marital_status", 5),
+                         eq_predicate(rng, "customer_demographics", "cd_education_status", 7),
+                         correlation=0.1),
+                     projected_columns=["cd_demo_sk", "cd_gender", "cd_marital_status",
+                                        "cd_education_status"]),
+            TableRef("date_dim",
+                     predicates=conjunction(eq_predicate(rng, "date_dim", "d_year", 10)),
+                     projected_columns=["d_date_sk", "d_year"]),
+        ],
+        joins=[
+            JoinEdge("store_sales", "ss_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+            JoinEdge("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"),
+        ],
+        aggregate=AggregateSpec(group_by={"customer_demographics": ["cd_education_status"]},
+                                n_aggregates=4),
+        order_by=OrderBySpec([("customer_demographics", "cd_education_status")]),
+    )
+
+
+def _store_channel_rollup(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("store_sales",
+                     predicates=conjunction(
+                         range_predicate(rng, "store_sales", "ss_sales_price", 0.2, 0.7)),
+                     projected_columns=["ss_store_sk", "ss_sold_date_sk", "ss_ext_sales_price",
+                                        "ss_sales_price", "ss_net_profit"]),
+            TableRef("store",
+                     predicates=conjunction(in_predicate(rng, "store", "s_state", 2, 5)),
+                     projected_columns=["s_store_sk", "s_store_name", "s_state"]),
+            TableRef("date_dim",
+                     predicates=conjunction(
+                         range_predicate(rng, "date_dim", "d_month_seq", 0.02, 0.06)),
+                     projected_columns=["d_date_sk", "d_month_seq"]),
+        ],
+        joins=[
+            JoinEdge("store_sales", "ss_store_sk", "store", "s_store_sk"),
+            JoinEdge("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"),
+        ],
+        aggregate=AggregateSpec(group_by={"store": ["s_store_name", "s_state"]}, n_aggregates=3),
+        order_by=OrderBySpec([("store", "s_store_name")]),
+    )
+
+
+def _item_price_scan(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    """A wide fact scan ordered by a computed measure (sort dominant)."""
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("catalog_sales",
+                     predicates=conjunction(
+                         range_predicate(rng, "catalog_sales", "cs_list_price", 0.1, 0.6)),
+                     projected_columns=["cs_item_sk", "cs_list_price", "cs_sales_price",
+                                        "cs_ext_discount_amt", "cs_net_profit"]),
+        ],
+        order_by=OrderBySpec([("catalog_sales", "cs_net_profit")], descending=True),
+        limit=1000,
+    )
+
+
+def _cross_channel_customer(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("web_sales",
+                     projected_columns=["ws_customer_sk", "ws_sold_date_sk", "ws_ext_sales_price"]),
+            TableRef("catalog_sales",
+                     projected_columns=["cs_customer_sk", "cs_ext_sales_price"]),
+            TableRef("customer",
+                     predicates=conjunction(in_predicate(rng, "customer", "c_birth_country", 3, 10)),
+                     projected_columns=["c_customer_sk", "c_birth_country", "c_last_name"]),
+            TableRef("date_dim",
+                     predicates=conjunction(eq_predicate(rng, "date_dim", "d_year", 10)),
+                     projected_columns=["d_date_sk", "d_year"]),
+        ],
+        joins=[
+            JoinEdge("web_sales", "ws_customer_sk", "customer", "c_customer_sk"),
+            JoinEdge("catalog_sales", "cs_customer_sk", "customer", "c_customer_sk"),
+            JoinEdge("web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk"),
+        ],
+        aggregate=AggregateSpec(group_by={"customer": ["c_birth_country"]}, n_aggregates=2),
+        order_by=OrderBySpec([("customer", "c_birth_country")]),
+    )
+
+
+def _monthly_quantity_histogram(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("store_sales",
+                     predicates=conjunction(
+                         range_predicate(rng, "store_sales", "ss_quantity", 0.1, 0.4)),
+                     projected_columns=["ss_sold_date_sk", "ss_quantity", "ss_wholesale_cost"]),
+            TableRef("date_dim",
+                     projected_columns=["d_date_sk", "d_moy", "d_year"]),
+        ],
+        joins=[JoinEdge("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk")],
+        aggregate=AggregateSpec(group_by={"date_dim": ["d_year", "d_moy"]}, n_aggregates=3),
+        order_by=OrderBySpec([("date_dim", "d_year"), ("date_dim", "d_moy")]),
+    )
+
+
+def _promo_lookup(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    """Selective seek-style query against web sales by date."""
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("web_sales",
+                     predicates=conjunction(
+                         range_predicate(rng, "web_sales", "ws_sold_date_sk", 0.001, 0.01)),
+                     projected_columns=["ws_sold_date_sk", "ws_item_sk", "ws_sales_price"]),
+            TableRef("item", projected_columns=["i_item_sk", "i_item_desc"]),
+        ],
+        joins=[JoinEdge("web_sales", "ws_item_sk", "item", "i_item_sk")],
+        order_by=OrderBySpec([("web_sales", "ws_sales_price")], descending=True),
+        limit=50,
+    )
+
+
+def tpcds_template_set() -> TemplateSet:
+    """The TPC-DS-style generalisation workload (paper: >100 random queries)."""
+    return TemplateSet("tpcds", [
+        QueryTemplate("tpcds_item_sales", _store_sales_by_item),
+        QueryTemplate("tpcds_customer_state", _customer_state_report),
+        QueryTemplate("tpcds_catalog_promo", _catalog_web_union_style),
+        QueryTemplate("tpcds_web_trend", _web_sales_trend),
+        QueryTemplate("tpcds_inventory", _inventory_positions),
+        QueryTemplate("tpcds_returns", _store_returns_analysis),
+        QueryTemplate("tpcds_demographics", _demographics_profile),
+        QueryTemplate("tpcds_store_rollup", _store_channel_rollup),
+        QueryTemplate("tpcds_price_scan", _item_price_scan),
+        QueryTemplate("tpcds_cross_channel", _cross_channel_customer),
+        QueryTemplate("tpcds_monthly_histogram", _monthly_quantity_histogram),
+        QueryTemplate("tpcds_promo_lookup", _promo_lookup),
+    ])

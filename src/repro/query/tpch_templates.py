@@ -1,0 +1,455 @@
+"""TPC-H-style query templates.
+
+These are structural approximations of the TPC-H benchmark queries: the same
+tables, join graphs, grouping and ordering shapes, with filter parameters
+drawn randomly per instantiation (the QGEN role).  The SQL text itself is
+irrelevant to the reproduction — only the physical plans and the resource
+usage they induce matter — so templates are expressed directly as
+:class:`~repro.query.spec.QuerySpec` builders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.schema import Catalog
+from repro.query.builders import conjunction, eq_predicate, in_predicate, range_predicate
+from repro.query.spec import AggregateSpec, JoinEdge, OrderBySpec, QuerySpec, TableRef
+from repro.query.templates import QueryTemplate, TemplateSet
+
+__all__ = ["tpch_template_set"]
+
+
+def _q1_pricing_summary(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    """Scan lineitem with a shipdate cutoff, group by return flag / status."""
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef(
+                "lineitem",
+                predicates=conjunction(
+                    range_predicate(rng, "lineitem", "l_shipdate", 0.55, 0.98, anchor="head"),
+                ),
+                projected_columns=[
+                    "l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+                    "l_discount", "l_tax", "l_shipdate",
+                ],
+            ),
+        ],
+        aggregate=AggregateSpec(group_by={"lineitem": ["l_returnflag", "l_linestatus"]},
+                                n_aggregates=8),
+        order_by=OrderBySpec([("lineitem", "l_returnflag"), ("lineitem", "l_linestatus")]),
+    )
+
+
+def _q3_shipping_priority(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("customer",
+                     predicates=conjunction(eq_predicate(rng, "customer", "c_mktsegment", 5)),
+                     projected_columns=["c_custkey", "c_mktsegment"]),
+            TableRef("orders",
+                     predicates=conjunction(
+                         range_predicate(rng, "orders", "o_orderdate", 0.1, 0.6)),
+                     projected_columns=["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"]),
+            TableRef("lineitem",
+                     predicates=conjunction(
+                         range_predicate(rng, "lineitem", "l_shipdate", 0.1, 0.6)),
+                     projected_columns=["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"]),
+        ],
+        joins=[
+            JoinEdge("customer", "c_custkey", "orders", "o_custkey"),
+            JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey"),
+        ],
+        aggregate=AggregateSpec(
+            group_by={"orders": ["o_orderkey", "o_orderdate", "o_shippriority"]}, n_aggregates=1),
+        order_by=OrderBySpec([("orders", "o_orderdate")], descending=True),
+        limit=10,
+    )
+
+
+def _q4_order_priority(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("orders",
+                     predicates=conjunction(
+                         range_predicate(rng, "orders", "o_orderdate", 0.05, 0.25)),
+                     projected_columns=["o_orderkey", "o_orderdate", "o_orderpriority"]),
+            TableRef("lineitem",
+                     predicates=conjunction(
+                         range_predicate(rng, "lineitem", "l_commitdate", 0.2, 0.7)),
+                     projected_columns=["l_orderkey", "l_commitdate"]),
+        ],
+        joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        aggregate=AggregateSpec(group_by={"orders": ["o_orderpriority"]}, n_aggregates=1),
+        order_by=OrderBySpec([("orders", "o_orderpriority")]),
+    )
+
+
+def _q5_local_supplier(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("customer", projected_columns=["c_custkey", "c_nationkey"]),
+            TableRef("orders",
+                     predicates=conjunction(
+                         range_predicate(rng, "orders", "o_orderdate", 0.1, 0.3)),
+                     projected_columns=["o_orderkey", "o_custkey", "o_orderdate"]),
+            TableRef("lineitem",
+                     projected_columns=["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"]),
+            TableRef("supplier", projected_columns=["s_suppkey", "s_nationkey"]),
+            TableRef("nation",
+                     predicates=conjunction(eq_predicate(rng, "nation", "n_regionkey", 5)),
+                     projected_columns=["n_nationkey", "n_name", "n_regionkey"]),
+        ],
+        joins=[
+            JoinEdge("customer", "c_custkey", "orders", "o_custkey"),
+            JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey"),
+            JoinEdge("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+            JoinEdge("supplier", "s_nationkey", "nation", "n_nationkey"),
+        ],
+        aggregate=AggregateSpec(group_by={"nation": ["n_name"]}, n_aggregates=1),
+        order_by=OrderBySpec([("nation", "n_name")], descending=True),
+    )
+
+
+def _q6_forecast_revenue(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("lineitem",
+                     predicates=conjunction(
+                         range_predicate(rng, "lineitem", "l_shipdate", 0.1, 0.25),
+                         range_predicate(rng, "lineitem", "l_discount", 0.15, 0.35),
+                         range_predicate(rng, "lineitem", "l_quantity", 0.3, 0.6),
+                         correlation=0.2),
+                     projected_columns=["l_shipdate", "l_discount", "l_quantity",
+                                        "l_extendedprice"]),
+        ],
+        aggregate=AggregateSpec(group_by={}, n_aggregates=1),
+    )
+
+
+def _q7_volume_shipping(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("supplier", projected_columns=["s_suppkey", "s_nationkey"]),
+            TableRef("lineitem",
+                     predicates=conjunction(
+                         range_predicate(rng, "lineitem", "l_shipdate", 0.25, 0.45)),
+                     projected_columns=["l_orderkey", "l_suppkey", "l_shipdate",
+                                        "l_extendedprice", "l_discount"]),
+            TableRef("orders", projected_columns=["o_orderkey", "o_custkey"]),
+            TableRef("customer", projected_columns=["c_custkey", "c_nationkey"]),
+            TableRef("nation",
+                     predicates=conjunction(in_predicate(rng, "nation", "n_nationkey", 2, 4)),
+                     projected_columns=["n_nationkey", "n_name"]),
+        ],
+        joins=[
+            JoinEdge("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+            JoinEdge("lineitem", "l_orderkey", "orders", "o_orderkey"),
+            JoinEdge("orders", "o_custkey", "customer", "c_custkey"),
+            JoinEdge("customer", "c_nationkey", "nation", "n_nationkey"),
+        ],
+        aggregate=AggregateSpec(group_by={"nation": ["n_name"]}, n_aggregates=2),
+        order_by=OrderBySpec([("nation", "n_name")]),
+    )
+
+
+def _q8_market_share(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("part",
+                     predicates=conjunction(eq_predicate(rng, "part", "p_type", 120)),
+                     projected_columns=["p_partkey", "p_type"]),
+            TableRef("lineitem",
+                     projected_columns=["l_partkey", "l_suppkey", "l_orderkey",
+                                        "l_extendedprice", "l_discount"]),
+            TableRef("supplier", projected_columns=["s_suppkey", "s_nationkey"]),
+            TableRef("orders",
+                     predicates=conjunction(
+                         range_predicate(rng, "orders", "o_orderdate", 0.2, 0.4)),
+                     projected_columns=["o_orderkey", "o_custkey", "o_orderdate"]),
+            TableRef("customer", projected_columns=["c_custkey", "c_nationkey"]),
+            TableRef("nation",
+                     predicates=conjunction(eq_predicate(rng, "nation", "n_regionkey", 5)),
+                     projected_columns=["n_nationkey", "n_regionkey"]),
+        ],
+        joins=[
+            JoinEdge("part", "p_partkey", "lineitem", "l_partkey"),
+            JoinEdge("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+            JoinEdge("lineitem", "l_orderkey", "orders", "o_orderkey"),
+            JoinEdge("orders", "o_custkey", "customer", "c_custkey"),
+            JoinEdge("customer", "c_nationkey", "nation", "n_nationkey"),
+        ],
+        aggregate=AggregateSpec(group_by={"orders": ["o_orderdate"]}, n_aggregates=2),
+        order_by=OrderBySpec([("orders", "o_orderdate")]),
+    )
+
+
+def _q9_product_profit(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("part",
+                     predicates=conjunction(
+                         range_predicate(rng, "part", "p_name", 0.03, 0.12, complexity=3)),
+                     projected_columns=["p_partkey", "p_name"]),
+            TableRef("lineitem",
+                     projected_columns=["l_partkey", "l_suppkey", "l_orderkey", "l_quantity",
+                                        "l_extendedprice", "l_discount"]),
+            TableRef("supplier", projected_columns=["s_suppkey", "s_nationkey"]),
+            TableRef("partsupp", projected_columns=["ps_partkey", "ps_suppkey", "ps_supplycost"]),
+            TableRef("orders", projected_columns=["o_orderkey", "o_orderdate"]),
+            TableRef("nation", projected_columns=["n_nationkey", "n_name"]),
+        ],
+        joins=[
+            JoinEdge("part", "p_partkey", "lineitem", "l_partkey"),
+            JoinEdge("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+            JoinEdge("lineitem", "l_partkey", "partsupp", "ps_partkey"),
+            JoinEdge("lineitem", "l_orderkey", "orders", "o_orderkey"),
+            JoinEdge("supplier", "s_nationkey", "nation", "n_nationkey"),
+        ],
+        aggregate=AggregateSpec(group_by={"nation": ["n_name"], "orders": ["o_orderdate"]},
+                                n_aggregates=1),
+        order_by=OrderBySpec([("nation", "n_name"), ("orders", "o_orderdate")], descending=True),
+    )
+
+
+def _q10_returned_items(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("customer",
+                     projected_columns=["c_custkey", "c_name", "c_acctbal", "c_nationkey",
+                                        "c_address", "c_phone", "c_comment"]),
+            TableRef("orders",
+                     predicates=conjunction(
+                         range_predicate(rng, "orders", "o_orderdate", 0.05, 0.15)),
+                     projected_columns=["o_orderkey", "o_custkey", "o_orderdate"]),
+            TableRef("lineitem",
+                     predicates=conjunction(eq_predicate(rng, "lineitem", "l_returnflag", 3)),
+                     projected_columns=["l_orderkey", "l_returnflag", "l_extendedprice",
+                                        "l_discount"]),
+            TableRef("nation", projected_columns=["n_nationkey", "n_name"]),
+        ],
+        joins=[
+            JoinEdge("customer", "c_custkey", "orders", "o_custkey"),
+            JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey"),
+            JoinEdge("customer", "c_nationkey", "nation", "n_nationkey"),
+        ],
+        aggregate=AggregateSpec(
+            group_by={"customer": ["c_custkey", "c_name", "c_acctbal", "c_phone"],
+                      "nation": ["n_name"]},
+            n_aggregates=1),
+        order_by=OrderBySpec([("customer", "c_acctbal")], descending=True),
+        limit=20,
+    )
+
+
+def _q12_shipmode(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("orders", projected_columns=["o_orderkey", "o_orderpriority"]),
+            TableRef("lineitem",
+                     predicates=conjunction(
+                         in_predicate(rng, "lineitem", "l_shipmode", 2, 3),
+                         range_predicate(rng, "lineitem", "l_receiptdate", 0.1, 0.25),
+                         correlation=0.1),
+                     projected_columns=["l_orderkey", "l_shipmode", "l_receiptdate"]),
+        ],
+        joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        aggregate=AggregateSpec(group_by={"lineitem": ["l_shipmode"]}, n_aggregates=2),
+        order_by=OrderBySpec([("lineitem", "l_shipmode")]),
+    )
+
+
+def _q13_customer_distribution(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("customer", projected_columns=["c_custkey"]),
+            TableRef("orders",
+                     predicates=conjunction(
+                         range_predicate(rng, "orders", "o_comment", 0.85, 0.99, complexity=4)),
+                     projected_columns=["o_orderkey", "o_custkey", "o_comment"]),
+        ],
+        joins=[JoinEdge("customer", "c_custkey", "orders", "o_custkey")],
+        aggregate=AggregateSpec(group_by={"customer": ["c_custkey"]}, n_aggregates=1),
+        order_by=OrderBySpec([("customer", "c_custkey")], descending=True),
+    )
+
+
+def _q14_promo_effect(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("lineitem",
+                     predicates=conjunction(
+                         range_predicate(rng, "lineitem", "l_shipdate", 0.02, 0.1)),
+                     projected_columns=["l_partkey", "l_shipdate", "l_extendedprice", "l_discount"]),
+            TableRef("part", projected_columns=["p_partkey", "p_type"]),
+        ],
+        joins=[JoinEdge("lineitem", "l_partkey", "part", "p_partkey")],
+        aggregate=AggregateSpec(group_by={}, n_aggregates=2),
+    )
+
+
+def _q17_small_quantity(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("lineitem",
+                     predicates=conjunction(
+                         range_predicate(rng, "lineitem", "l_quantity", 0.1, 0.4)),
+                     projected_columns=["l_partkey", "l_quantity", "l_extendedprice"]),
+            TableRef("part",
+                     predicates=conjunction(
+                         eq_predicate(rng, "part", "p_brand", 25),
+                         eq_predicate(rng, "part", "p_container", 40),
+                         correlation=0.1),
+                     projected_columns=["p_partkey", "p_brand", "p_container"]),
+        ],
+        joins=[JoinEdge("lineitem", "l_partkey", "part", "p_partkey")],
+        aggregate=AggregateSpec(group_by={}, n_aggregates=1),
+    )
+
+
+def _q18_large_volume(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("customer", projected_columns=["c_custkey", "c_name"]),
+            TableRef("orders",
+                     predicates=conjunction(
+                         range_predicate(rng, "orders", "o_totalprice", 0.01, 0.08,
+                                         anchor="tail")),
+                     projected_columns=["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"]),
+            TableRef("lineitem", projected_columns=["l_orderkey", "l_quantity"]),
+        ],
+        joins=[
+            JoinEdge("customer", "c_custkey", "orders", "o_custkey"),
+            JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey"),
+        ],
+        aggregate=AggregateSpec(
+            group_by={"customer": ["c_custkey", "c_name"],
+                      "orders": ["o_orderkey", "o_orderdate", "o_totalprice"]},
+            n_aggregates=1),
+        order_by=OrderBySpec([("orders", "o_totalprice")], descending=True),
+        limit=100,
+    )
+
+
+def _q19_discounted_revenue(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("lineitem",
+                     predicates=conjunction(
+                         in_predicate(rng, "lineitem", "l_shipmode", 2, 2),
+                         range_predicate(rng, "lineitem", "l_quantity", 0.2, 0.5),
+                         correlation=0.15),
+                     projected_columns=["l_partkey", "l_shipmode", "l_quantity",
+                                        "l_extendedprice", "l_discount"]),
+            TableRef("part",
+                     predicates=conjunction(
+                         in_predicate(rng, "part", "p_brand", 2, 4),
+                         range_predicate(rng, "part", "p_size", 0.1, 0.5),
+                         correlation=0.1),
+                     projected_columns=["p_partkey", "p_brand", "p_size", "p_container"]),
+        ],
+        joins=[JoinEdge("lineitem", "l_partkey", "part", "p_partkey")],
+        aggregate=AggregateSpec(group_by={}, n_aggregates=1),
+    )
+
+
+def _q21_suppliers_waiting(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("supplier", projected_columns=["s_suppkey", "s_name", "s_nationkey"]),
+            TableRef("lineitem",
+                     predicates=conjunction(
+                         range_predicate(rng, "lineitem", "l_receiptdate", 0.3, 0.6)),
+                     projected_columns=["l_orderkey", "l_suppkey", "l_receiptdate"]),
+            TableRef("orders",
+                     predicates=conjunction(eq_predicate(rng, "orders", "o_orderstatus", 3)),
+                     projected_columns=["o_orderkey", "o_orderstatus"]),
+            TableRef("nation",
+                     predicates=conjunction(eq_predicate(rng, "nation", "n_nationkey", 25)),
+                     projected_columns=["n_nationkey", "n_name"]),
+        ],
+        joins=[
+            JoinEdge("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+            JoinEdge("lineitem", "l_orderkey", "orders", "o_orderkey"),
+            JoinEdge("supplier", "s_nationkey", "nation", "n_nationkey"),
+        ],
+        aggregate=AggregateSpec(group_by={"supplier": ["s_name"]}, n_aggregates=1),
+        order_by=OrderBySpec([("supplier", "s_name")]),
+        limit=100,
+    )
+
+
+def _scan_filter_sort(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    """A sort-heavy single-table query (ORDER BY on a non-indexed expression).
+
+    This mirrors the micro-workload the paper uses to calibrate the Sort
+    scaling function (Section 6.2) and adds sort-dominant plans to the mix.
+    """
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("lineitem",
+                     predicates=conjunction(
+                         range_predicate(rng, "lineitem", "l_orderkey", 0.05, 0.9)),
+                     projected_columns=["l_orderkey", "l_partkey", "l_quantity",
+                                        "l_extendedprice", "l_comment"]),
+        ],
+        order_by=OrderBySpec([("lineitem", "l_extendedprice")], descending=True),
+    )
+
+
+def _point_lookup_join(rng: np.random.Generator, catalog: Catalog, name: str) -> QuerySpec:
+    """A selective order lookup joined to its lineitems (index-nested-loop shaped)."""
+    return QuerySpec(
+        name=name,
+        tables=[
+            TableRef("orders",
+                     predicates=conjunction(
+                         range_predicate(rng, "orders", "o_orderkey", 0.0005, 0.01)),
+                     projected_columns=["o_orderkey", "o_custkey", "o_totalprice"]),
+            TableRef("lineitem",
+                     projected_columns=["l_orderkey", "l_quantity", "l_extendedprice"]),
+        ],
+        joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        order_by=OrderBySpec([("orders", "o_totalprice")], descending=True),
+    )
+
+
+def tpch_template_set() -> TemplateSet:
+    """The TPC-H-style workload used for training and in-distribution tests."""
+    return TemplateSet("tpch", [
+        QueryTemplate("tpch_q1", _q1_pricing_summary),
+        QueryTemplate("tpch_q3", _q3_shipping_priority),
+        QueryTemplate("tpch_q4", _q4_order_priority),
+        QueryTemplate("tpch_q5", _q5_local_supplier),
+        QueryTemplate("tpch_q6", _q6_forecast_revenue),
+        QueryTemplate("tpch_q7", _q7_volume_shipping),
+        QueryTemplate("tpch_q8", _q8_market_share),
+        QueryTemplate("tpch_q9", _q9_product_profit),
+        QueryTemplate("tpch_q10", _q10_returned_items),
+        QueryTemplate("tpch_q12", _q12_shipmode),
+        QueryTemplate("tpch_q13", _q13_customer_distribution),
+        QueryTemplate("tpch_q14", _q14_promo_effect),
+        QueryTemplate("tpch_q17", _q17_small_quantity),
+        QueryTemplate("tpch_q18", _q18_large_volume),
+        QueryTemplate("tpch_q19", _q19_discounted_revenue),
+        QueryTemplate("tpch_q21", _q21_suppliers_waiting),
+        QueryTemplate("tpch_sort_scan", _scan_filter_sort),
+        QueryTemplate("tpch_point_join", _point_lookup_join),
+    ])

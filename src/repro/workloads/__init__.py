@@ -1,0 +1,29 @@
+"""Workload assembly: generate queries, plan them, "execute" them, and turn
+the observations into training/test datasets for the estimation techniques.
+
+A :class:`~repro.workloads.runner.ObservedQuery` bundles one query's plan,
+its per-operator feature vectors (exact and optimizer-estimated) and the
+actual resource usage observed by the engine simulator.  Collections of
+observed queries (:class:`~repro.workloads.runner.ObservedWorkload`) are the
+unit the experiment harness trains and evaluates on.
+"""
+
+from repro.workloads.datasets import build_training_data, split_workload
+from repro.workloads.runner import ObservedOperator, ObservedQuery, ObservedWorkload, WorkloadRunner
+from repro.workloads.real import build_real1_workload, build_real2_workload
+from repro.workloads.tpch import build_tpch_workload, build_tpch_multi_scale_workload
+from repro.workloads.tpcds import build_tpcds_workload
+
+__all__ = [
+    "build_training_data",
+    "split_workload",
+    "ObservedOperator",
+    "ObservedQuery",
+    "ObservedWorkload",
+    "WorkloadRunner",
+    "build_real1_workload",
+    "build_real2_workload",
+    "build_tpch_workload",
+    "build_tpch_multi_scale_workload",
+    "build_tpcds_workload",
+]

@@ -1,0 +1,57 @@
+"""Dataset utilities: train/test splits and per-family training matrices."""
+
+from __future__ import annotations
+
+from repro.core.trainer import FamilyTrainingData
+from repro.data.rng import make_rng
+from repro.features.definitions import FeatureMode, OperatorFamily
+from repro.workloads.runner import ObservedQuery, ObservedWorkload
+
+__all__ = ["split_workload", "build_training_data", "filter_by_template"]
+
+
+def split_workload(
+    workload: ObservedWorkload,
+    train_fraction: float = 0.8,
+    seed: int = 0,
+) -> tuple[list[ObservedQuery], list[ObservedQuery]]:
+    """Random train/test split of a workload's queries.
+
+    The split is by *query* (never by operator), so no operator instance of a
+    test query ever leaks into training — matching the paper's setup where
+    train and test sets never share an identical query.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    rng = make_rng(seed, "split", workload.name)
+    indices = rng.permutation(len(workload.queries))
+    n_train = int(round(train_fraction * len(indices)))
+    n_train = min(max(n_train, 1), len(indices) - 1) if len(indices) > 1 else len(indices)
+    train_idx = set(int(i) for i in indices[:n_train])
+    train = [q for i, q in enumerate(workload.queries) if i in train_idx]
+    test = [q for i, q in enumerate(workload.queries) if i not in train_idx]
+    return train, test
+
+
+def build_training_data(
+    queries: list[ObservedQuery],
+    mode: FeatureMode = FeatureMode.EXACT,
+) -> dict[OperatorFamily, FamilyTrainingData]:
+    """Assemble per-operator-family training data from observed queries."""
+    data: dict[OperatorFamily, FamilyTrainingData] = {}
+    for query in queries:
+        for op in query.operators:
+            family_data = data.setdefault(op.family, FamilyTrainingData(family=op.family))
+            family_data.add(
+                op.features(mode),
+                {"cpu": op.actual_cpu_us, "io": op.actual_logical_io},
+            )
+    return data
+
+
+def filter_by_template(
+    workload: ObservedWorkload, templates: list[str]
+) -> list[ObservedQuery]:
+    """Queries of a workload whose template is in ``templates``."""
+    allowed = set(templates)
+    return [q for q in workload.queries if q.template in allowed]

@@ -1,0 +1,44 @@
+"""Workload builders for the two synthetic "real-life" decision-support sets.
+
+Query counts default to the paper's (Real-1: 222 queries, Real-2: 887
+queries) scaled down by the experiment configuration where appropriate; the
+schemas and join depths match the paper's description (see
+:mod:`repro.catalog.real`).
+"""
+
+from __future__ import annotations
+
+from repro.catalog.real import build_real1_catalog, build_real2_catalog
+from repro.engine.hardware import HardwareProfile
+from repro.query.real_templates import real1_template_set, real2_template_set
+from repro.workloads.runner import ObservedWorkload, WorkloadRunner
+
+__all__ = ["build_real1_workload", "build_real2_workload"]
+
+
+def build_real1_workload(
+    n_queries: int = 222,
+    skew_z: float = 1.2,
+    seed: int = 200,
+    hardware: HardwareProfile | None = None,
+) -> ObservedWorkload:
+    """Run the Real-1 sales/reporting workload (5-8 joins per query)."""
+    catalog = build_real1_catalog(skew_z=skew_z)
+    runner = WorkloadRunner(catalog, hardware=hardware)
+    return runner.run_templates(
+        real1_template_set(), n_queries, seed=seed, workload_name="real1"
+    )
+
+
+def build_real2_workload(
+    n_queries: int = 887,
+    skew_z: float = 1.4,
+    seed: int = 300,
+    hardware: HardwareProfile | None = None,
+) -> ObservedWorkload:
+    """Run the Real-2 ERP workload (~12 joins per query)."""
+    catalog = build_real2_catalog(skew_z=skew_z)
+    runner = WorkloadRunner(catalog, hardware=hardware)
+    return runner.run_templates(
+        real2_template_set(), n_queries, seed=seed, workload_name="real2"
+    )

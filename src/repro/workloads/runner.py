@@ -1,0 +1,166 @@
+"""Running workloads through the planner and the engine simulator.
+
+The runner is the library's equivalent of "execute the training queries on
+the server and collect counters": for every query it builds the physical
+plan, extracts per-operator features in both feature modes, simulates the
+execution, and stores everything in plain dataclasses that the estimation
+techniques and the experiment harness consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Catalog
+from repro.catalog.statistics import StatisticsCatalog
+from repro.engine.executor import ExecutionResult, QueryExecutor
+from repro.engine.hardware import HardwareProfile
+from repro.features.definitions import FeatureMode, OperatorFamily
+from repro.features.extractor import FeatureExtractor
+from repro.optimizer.planner import Planner, PlannerConfig
+from repro.plan.plan import QueryPlan
+from repro.query.spec import QuerySpec
+from repro.query.templates import TemplateSet
+
+__all__ = ["ObservedOperator", "ObservedQuery", "ObservedWorkload", "WorkloadRunner"]
+
+
+@dataclass
+class ObservedOperator:
+    """One operator instance: features (both modes) plus observed resources."""
+
+    family: OperatorFamily
+    exact_features: dict[str, float]
+    estimated_features: dict[str, float]
+    actual_cpu_us: float
+    actual_logical_io: float
+    pipeline: int
+    node_id: int
+
+    def features(self, mode: FeatureMode) -> dict[str, float]:
+        if mode is FeatureMode.EXACT:
+            return self.exact_features
+        return self.estimated_features
+
+    def actual(self, resource: str) -> float:
+        if resource == "cpu":
+            return self.actual_cpu_us
+        if resource == "io":
+            return self.actual_logical_io
+        raise ValueError(f"unknown resource {resource!r}")
+
+
+@dataclass
+class ObservedQuery:
+    """One executed query: its plan, operators and query-level totals."""
+
+    query: QuerySpec
+    plan: QueryPlan
+    operators: list[ObservedOperator]
+    total_cpu_us: float
+    total_logical_io: float
+    optimizer_cost: float
+
+    @property
+    def template(self) -> str:
+        return self.query.template
+
+    def actual(self, resource: str) -> float:
+        if resource == "cpu":
+            return self.total_cpu_us
+        if resource == "io":
+            return self.total_logical_io
+        raise ValueError(f"unknown resource {resource!r}")
+
+
+@dataclass
+class ObservedWorkload:
+    """A named collection of observed queries over one catalog."""
+
+    name: str
+    catalog: Catalog
+    queries: list[ObservedQuery] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def extend(self, other: "ObservedWorkload") -> "ObservedWorkload":
+        """Append another workload's queries (used for multi-scale TPC-H)."""
+        self.queries.extend(other.queries)
+        return self
+
+    def templates(self) -> list[str]:
+        return sorted({q.template for q in self.queries})
+
+    def operators(self) -> list[ObservedOperator]:
+        return [op for query in self.queries for op in query.operators]
+
+
+class WorkloadRunner:
+    """Plans and "executes" query workloads against one catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        statistics: StatisticsCatalog | None = None,
+        hardware: HardwareProfile | None = None,
+        planner_config: PlannerConfig | None = None,
+        noise: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.statistics = statistics or StatisticsCatalog(catalog)
+        self.planner = Planner(catalog, self.statistics, planner_config)
+        self.executor = QueryExecutor(hardware=hardware, noise=noise)
+        self._exact_extractor = FeatureExtractor(FeatureMode.EXACT)
+        self._estimated_extractor = FeatureExtractor(FeatureMode.ESTIMATED)
+
+    # -- public API ------------------------------------------------------------------------------
+    def run_queries(self, queries: list[QuerySpec], workload_name: str) -> ObservedWorkload:
+        """Plan and execute a list of query specs."""
+        workload = ObservedWorkload(name=workload_name, catalog=self.catalog)
+        for query in queries:
+            workload.queries.append(self.run_query(query))
+        return workload
+
+    def run_templates(
+        self, templates: TemplateSet, n_queries: int, seed: int = 0, workload_name: str | None = None
+    ) -> ObservedWorkload:
+        """Instantiate ``n_queries`` from ``templates`` and execute them."""
+        queries = templates.generate(self.catalog, n_queries, seed=seed)
+        return self.run_queries(queries, workload_name or templates.name)
+
+    def run_query(self, query: QuerySpec) -> ObservedQuery:
+        """Plan, execute and featurise a single query."""
+        plan = self.planner.plan(query)
+        result = self.executor.execute(plan)
+        return self._observe(plan, result)
+
+    # -- internals ----------------------------------------------------------------------------------
+    def _observe(self, plan: QueryPlan, result: ExecutionResult) -> ObservedQuery:
+        exact = self._exact_extractor.extract_plan(plan)
+        estimated = self._estimated_extractor.extract_plan(plan)
+        operators: list[ObservedOperator] = []
+        for obs in result.observations:
+            node_id = obs.node_id
+            operators.append(
+                ObservedOperator(
+                    family=exact[node_id].family,
+                    exact_features=exact[node_id].values,
+                    estimated_features=estimated[node_id].values,
+                    actual_cpu_us=obs.actual_cpu_us,
+                    actual_logical_io=obs.actual_logical_io,
+                    pipeline=obs.pipeline,
+                    node_id=node_id,
+                )
+            )
+        return ObservedQuery(
+            query=plan.query,
+            plan=plan,
+            operators=operators,
+            total_cpu_us=result.total_cpu_us,
+            total_logical_io=result.total_logical_io,
+            optimizer_cost=plan.total_estimated_cost,
+        )

@@ -1,0 +1,24 @@
+"""TPC-DS workload builder (cross-schema generalisation test set)."""
+
+from __future__ import annotations
+
+from repro.catalog.tpcds import build_tpcds_catalog
+from repro.engine.hardware import HardwareProfile
+from repro.query.tpcds_templates import tpcds_template_set
+from repro.workloads.runner import ObservedWorkload, WorkloadRunner
+
+__all__ = ["build_tpcds_workload"]
+
+
+def build_tpcds_workload(
+    scale_factor: float = 1.0,
+    skew_z: float = 0.8,
+    n_queries: int = 100,
+    seed: int = 100,
+    hardware: HardwareProfile | None = None,
+) -> ObservedWorkload:
+    """Run a TPC-DS workload (the paper uses >100 randomly chosen queries)."""
+    catalog = build_tpcds_catalog(scale_factor=scale_factor, skew_z=skew_z)
+    runner = WorkloadRunner(catalog, hardware=hardware)
+    name = f"tpcds_sf{scale_factor:g}"
+    return runner.run_templates(tpcds_template_set(), n_queries, seed=seed, workload_name=name)

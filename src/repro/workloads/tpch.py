@@ -1,0 +1,69 @@
+"""TPC-H workload builders (training workload of every experiment).
+
+The paper's main training set is >2500 TPC-H queries generated with QGEN on
+skewed data, executed over databases at scale factors 1–10.  The builders
+here mirror that: queries are instantiated from the TPC-H templates and run
+against multiple catalogs built at different scale factors, so that training
+data contains the same template at very different data sizes.
+
+The *default* scale factors used by the library are smaller than the paper's
+(the simulator is exact, not sampled, so nothing is gained by huge tables,
+and the experiment suite should run on a laptop); the experiment
+configuration can raise them to paper scale.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.tpch import build_tpch_catalog
+from repro.engine.hardware import HardwareProfile
+from repro.query.tpch_templates import tpch_template_set
+from repro.workloads.runner import ObservedWorkload, WorkloadRunner
+
+__all__ = ["build_tpch_workload", "build_tpch_multi_scale_workload"]
+
+
+def build_tpch_workload(
+    scale_factor: float = 1.0,
+    skew_z: float = 1.0,
+    n_queries: int = 120,
+    seed: int = 0,
+    hardware: HardwareProfile | None = None,
+) -> ObservedWorkload:
+    """Run a TPC-H workload at a single scale factor."""
+    catalog = build_tpch_catalog(scale_factor=scale_factor, skew_z=skew_z)
+    runner = WorkloadRunner(catalog, hardware=hardware)
+    name = f"tpch_sf{scale_factor:g}"
+    return runner.run_templates(tpch_template_set(), n_queries, seed=seed, workload_name=name)
+
+
+def build_tpch_multi_scale_workload(
+    scale_factors: tuple[float, ...] = (0.1, 0.25, 0.5, 1.0),
+    skew_z: float = 2.0,
+    queries_per_scale: int = 90,
+    seed: int = 0,
+    hardware: HardwareProfile | None = None,
+) -> ObservedWorkload:
+    """Run the same template set over several scale factors and merge.
+
+    This mirrors the paper's training workload (TPC-H with skew Z=2, scale
+    factors 1–10): the same templates appear at different data sizes, which
+    is what gives the in-distribution experiments their within-template
+    variance and the data-size generalisation experiments their small/large
+    partitions.
+    """
+    if not scale_factors:
+        raise ValueError("scale_factors must not be empty")
+    merged: ObservedWorkload | None = None
+    for i, scale_factor in enumerate(scale_factors):
+        workload = build_tpch_workload(
+            scale_factor=scale_factor,
+            skew_z=skew_z,
+            n_queries=queries_per_scale,
+            seed=seed + i,
+            hardware=hardware,
+        )
+        if merged is None:
+            merged = ObservedWorkload(name="tpch_multi_scale", catalog=workload.catalog)
+        merged.extend(workload)
+    assert merged is not None
+    return merged

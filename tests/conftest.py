@@ -1,0 +1,90 @@
+"""Shared fixtures: small catalogs, workloads and trained estimators.
+
+Everything expensive is session-scoped and deliberately tiny, so the whole
+test suite stays fast while still exercising the full pipeline end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.statistics import StatisticsCatalog
+from repro.catalog.tpch import build_tpch_catalog
+from repro.core import ResourceEstimator
+from repro.core.trainer import TrainerConfig
+from repro.engine.executor import QueryExecutor
+from repro.features.definitions import FeatureMode
+from repro.ml.mart import MARTConfig
+from repro.optimizer.planner import Planner
+from repro.query.tpch_templates import tpch_template_set
+from repro.workloads.datasets import build_training_data, split_workload
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.tpch import build_tpch_workload
+
+
+@pytest.fixture(scope="session")
+def tpch_catalog():
+    """A small, skewed TPC-H catalog shared by most tests."""
+    return build_tpch_catalog(scale_factor=0.05, skew_z=1.0)
+
+
+@pytest.fixture(scope="session")
+def statistics(tpch_catalog):
+    return StatisticsCatalog(tpch_catalog)
+
+
+@pytest.fixture(scope="session")
+def planner(tpch_catalog, statistics):
+    return Planner(tpch_catalog, statistics)
+
+
+@pytest.fixture(scope="session")
+def executor():
+    return QueryExecutor()
+
+
+@pytest.fixture(scope="session")
+def tpch_queries(tpch_catalog):
+    """A handful of concrete TPC-H query specs."""
+    return tpch_template_set().generate(tpch_catalog, 18, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tpch_plans(planner, tpch_queries):
+    return [planner.plan(query) for query in tpch_queries]
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A small observed TPC-H workload (planned + executed)."""
+    return build_tpch_workload(scale_factor=0.05, skew_z=1.0, n_queries=72, seed=11)
+
+
+@pytest.fixture(scope="session")
+def workload_split(small_workload):
+    return split_workload(small_workload, train_fraction=0.75, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_mart_config():
+    return MARTConfig(n_iterations=25, max_leaves=8, learning_rate=0.15, subsample=0.9)
+
+
+@pytest.fixture(scope="session")
+def tiny_trainer_config(tiny_mart_config):
+    return TrainerConfig(mart=tiny_mart_config, min_training_rows=10, max_pair_models=1)
+
+
+@pytest.fixture(scope="session")
+def trained_estimator(workload_split, tiny_trainer_config):
+    """A SCALING estimator trained on the small workload (exact features)."""
+    train, _ = workload_split
+    training_data = build_training_data(train, FeatureMode.EXACT)
+    return ResourceEstimator.train(
+        training_data, FeatureMode.EXACT, resources=("cpu", "io"), config=tiny_trainer_config
+    )
+
+
+@pytest.fixture(scope="session")
+def workload_runner(tpch_catalog, statistics):
+    return WorkloadRunner(tpch_catalog, statistics)

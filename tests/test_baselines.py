@@ -1,0 +1,167 @@
+"""Tests for the competing estimation techniques (Section 7 baselines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AkdereOperatorBaseline,
+    LinearBaseline,
+    MARTBaseline,
+    OptimizerBaseline,
+    RegTreeBaseline,
+    ScalingTechnique,
+    SVMBaseline,
+    standard_techniques,
+)
+from repro.core.trainer import TrainerConfig
+from repro.features.definitions import FeatureMode
+from repro.ml.mart import MARTConfig
+from repro.ml.metrics import ratio_error
+from repro.ml.transform_regression import TransformConfig
+
+
+TINY_MART = MARTConfig(n_iterations=20, max_leaves=8, learning_rate=0.2, subsample=1.0)
+
+
+def _technique_instances():
+    return [
+        OptimizerBaseline(),
+        AkdereOperatorBaseline(),
+        LinearBaseline(),
+        MARTBaseline(mart_config=TINY_MART),
+        SVMBaseline(kernel="poly"),
+        RegTreeBaseline(TransformConfig(n_iterations=15)),
+        ScalingTechnique(trainer_config=TrainerConfig(mart=TINY_MART, max_pair_models=0)),
+    ]
+
+
+@pytest.fixture(scope="module")
+def fitted_techniques(workload_split):
+    train, _ = workload_split
+    fitted = []
+    for technique in _technique_instances():
+        fitted.append(technique.fit(train, "cpu", FeatureMode.EXACT))
+    return fitted
+
+
+class TestCommonInterface:
+    def test_every_technique_produces_finite_positive_estimates(
+        self, fitted_techniques, workload_split
+    ):
+        _, test = workload_split
+        for technique in fitted_techniques:
+            estimates = technique.predict_queries(test)
+            assert estimates.shape == (len(test),)
+            assert np.isfinite(estimates).all()
+            assert (estimates >= 0.0).all()
+
+    def test_statistical_techniques_beat_random_guessing(
+        self, fitted_techniques, workload_split
+    ):
+        """Every learned technique should land within 10x for most queries."""
+        _, test = workload_split
+        actuals = np.array([q.total_cpu_us for q in test])
+        for technique in fitted_techniques:
+            if technique.name == "OPT":
+                continue
+            estimates = technique.predict_queries(test)
+            ratios = ratio_error(estimates, actuals)
+            assert float(np.median(ratios)) < 10.0, technique.name
+
+    def test_standard_lineup_contains_the_papers_techniques(self):
+        names = {t.name for t in standard_techniques()}
+        assert {"OPT", "[8]", "LINEAR", "MART", "REGTREE", "SCALING"} <= names
+        assert any(name.startswith("SVM") for name in names)
+
+
+class TestOptimizerBaseline:
+    def test_adjustment_factors_fitted_per_family(self, workload_split):
+        train, _ = workload_split
+        opt = OptimizerBaseline().fit(train, "cpu", FeatureMode.ESTIMATED)
+        assert opt.factors_
+        assert all(factor >= 0.0 for factor in opt.factors_.values())
+        assert opt.global_factor_ > 0.0
+
+    def test_io_factors_differ_from_cpu_factors(self, workload_split):
+        train, _ = workload_split
+        cpu = OptimizerBaseline().fit(train, "cpu", FeatureMode.ESTIMATED)
+        io = OptimizerBaseline().fit(train, "io", FeatureMode.ESTIMATED)
+        assert cpu.factors_ != io.factors_
+
+
+class TestAkdereBaseline:
+    def test_estimate_is_cumulative_root_value(self, workload_split):
+        train, test = workload_split
+        model = AkdereOperatorBaseline().fit(train, "cpu", FeatureMode.EXACT)
+        query = test[0]
+        assert model.predict_query(query) > 0.0
+
+    def test_cumulative_actuals_are_monotone(self, workload_split):
+        train, _ = workload_split
+        model = AkdereOperatorBaseline()
+        model.resource = "cpu"
+        query = train[0]
+        cumulative = model._cumulative_actuals(query)
+        children = model._children_of(query)
+        for node_id, child_ids in children.items():
+            for child_id in child_ids:
+                assert cumulative[node_id] >= cumulative[child_id] - 1e-9
+
+    def test_root_cumulative_equals_query_total(self, workload_split):
+        train, _ = workload_split
+        model = AkdereOperatorBaseline()
+        model.resource = "cpu"
+        query = train[0]
+        cumulative = model._cumulative_actuals(query)
+        assert cumulative[query.plan.root.node_id] == pytest.approx(query.total_cpu_us)
+
+
+class TestScalingTechnique:
+    def test_estimator_property_exposes_pipelines(self, workload_split):
+        train, test = workload_split
+        technique = ScalingTechnique(
+            trainer_config=TrainerConfig(mart=TINY_MART, max_pair_models=0)
+        ).fit(train, "cpu", FeatureMode.EXACT)
+        pipelines = technique.estimator.estimate_pipelines(test[0].plan, "cpu")
+        assert pipelines
+
+    def test_unfitted_raises(self):
+        technique = ScalingTechnique()
+        with pytest.raises(RuntimeError):
+            technique.predict_query(None)  # type: ignore[arg-type]
+        with pytest.raises(RuntimeError):
+            _ = technique.estimator
+
+    def test_scaling_generalises_better_than_mart_across_scales(self):
+        """Lightweight version of the paper's headline claim (Figure 3 vs 6,
+        Table 5): train on a small scale factor, test on a 6x larger one —
+        SCALING must not degrade as badly as plain MART."""
+        from repro.workloads.tpch import build_tpch_workload
+
+        train_wl = build_tpch_workload(scale_factor=0.05, skew_z=1.0, n_queries=54, seed=21)
+        test_wl = build_tpch_workload(scale_factor=0.3, skew_z=1.0, n_queries=18, seed=22)
+        scaling = ScalingTechnique(
+            trainer_config=TrainerConfig(mart=TINY_MART, max_pair_models=0)
+        ).fit(train_wl.queries, "cpu", FeatureMode.EXACT)
+        mart = MARTBaseline(mart_config=TINY_MART).fit(train_wl.queries, "cpu", FeatureMode.EXACT)
+
+        actuals = np.array([q.total_cpu_us for q in test_wl.queries])
+        scaling_ratio = np.median(ratio_error(scaling.predict_queries(test_wl.queries), actuals))
+        mart_ratio = np.median(ratio_error(mart.predict_queries(test_wl.queries), actuals))
+        assert scaling_ratio < mart_ratio
+
+    def test_mart_systematically_underestimates_out_of_range(self):
+        """Plain MART's estimates on much larger data stay near the training
+        maximum (the Figure 3 failure mode)."""
+        from repro.workloads.tpch import build_tpch_workload
+
+        train_wl = build_tpch_workload(scale_factor=0.05, skew_z=1.0, n_queries=54, seed=31)
+        test_wl = build_tpch_workload(scale_factor=0.4, skew_z=1.0, n_queries=18, seed=32)
+        mart = MARTBaseline(mart_config=TINY_MART).fit(train_wl.queries, "cpu", FeatureMode.EXACT)
+        estimates = mart.predict_queries(test_wl.queries)
+        actuals = np.array([q.total_cpu_us for q in test_wl.queries])
+        # Underestimation on the expensive half of the test queries.
+        expensive = actuals >= np.median(actuals)
+        assert float(np.mean(estimates[expensive] < actuals[expensive])) > 0.7

@@ -1,0 +1,96 @@
+"""Tests for true/estimated cardinality computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer.cardinality import CardinalityModel
+from repro.query.builders import conjunction, range_predicate
+from repro.query.spec import AggregateSpec, JoinEdge, QuerySpec, TableRef
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def model(tpch_catalog, statistics):
+    return CardinalityModel(tpch_catalog, statistics)
+
+
+class TestBaseAndFilter:
+    def test_base_rows_match_catalog(self, model, tpch_catalog):
+        assert model.base_rows("lineitem") == tpch_catalog.table("lineitem").row_count
+
+    def test_unfiltered_reference_has_selectivity_one(self, model):
+        ref = TableRef("orders")
+        assert model.filter_selectivity(ref) == (1.0, 1.0)
+
+    def test_filtered_rows_below_base_rows(self, model):
+        rng = np.random.default_rng(0)
+        ref = TableRef(
+            "orders",
+            predicates=conjunction(range_predicate(rng, "orders", "o_orderdate", 0.1, 0.2)),
+        )
+        true_rows, est_rows = model.filtered_rows(ref)
+        assert 0 < true_rows < model.base_rows("orders")
+        assert 0 < est_rows < model.base_rows("orders")
+
+
+class TestJoinSelectivity:
+    def test_selectivity_within_bounds(self, model):
+        sel = model.join_selectivity("orders", "o_orderkey", "lineitem", "l_orderkey")
+        assert 0.0 < sel.true <= 1.0
+        assert 0.0 < sel.estimated <= 1.0
+
+    def test_skewed_fk_join_larger_than_uniform_estimate(self, model):
+        """Rank-aligned skewed joins produce more rows than 1/max(NDV)."""
+        sel = model.join_selectivity("lineitem", "l_partkey", "partsupp", "ps_partkey")
+        assert sel.true > sel.estimated
+
+    def test_pk_fk_join_estimate_close_to_truth(self, model):
+        """Joining a unique key is estimated accurately (both ~1/|parent|)."""
+        sel = model.join_selectivity("orders", "o_orderkey", "lineitem", "l_orderkey")
+        assert sel.true == pytest.approx(sel.estimated, rel=1.0)
+
+    def test_symmetry_and_caching(self, model):
+        a = model.join_selectivity("orders", "o_custkey", "customer", "c_custkey")
+        b = model.join_selectivity("customer", "c_custkey", "orders", "o_custkey")
+        assert a is b  # the cache stores both directions
+
+
+class TestGroupCount:
+    def _query(self) -> QuerySpec:
+        return QuerySpec(
+            name="g",
+            tables=[TableRef("lineitem")],
+            aggregate=AggregateSpec(group_by={"lineitem": ["l_returnflag", "l_linestatus"]}),
+        )
+
+    def test_groups_bounded_by_domain_and_input(self, model):
+        true_groups, est_groups = model.group_count(self._query(), 10_000, 10_000)
+        assert 1.0 <= true_groups <= 6.0  # 3 return flags x 2 statuses
+        assert 1.0 <= est_groups <= 6.0
+
+    def test_scalar_aggregate_returns_one_group(self, model):
+        query = QuerySpec(
+            name="s", tables=[TableRef("lineitem")], aggregate=AggregateSpec(group_by={})
+        )
+        assert model.group_count(query, 1000, 1000) == (1.0, 1.0)
+
+    def test_tiny_input_limits_groups(self, model):
+        true_groups, _ = model.group_count(self._query(), 2, 2)
+        assert true_groups <= 2.0
+
+
+def test_plan_level_estimation_error_grows_with_join_depth(planner, tpch_queries):
+    """Deep plans accumulate more cardinality-estimation error on average."""
+    shallow_errors, deep_errors = [], []
+    for query in tpch_queries:
+        plan = planner.plan(query)
+        root = plan.root
+        error = abs(np.log10(max(root.est_rows, 1.0)) - np.log10(max(root.true_rows, 1.0)))
+        if query.n_joins <= 1:
+            shallow_errors.append(error)
+        elif query.n_joins >= 3:
+            deep_errors.append(error)
+    if shallow_errors and deep_errors:
+        assert float(np.mean(deep_errors)) >= float(np.mean(shallow_errors)) * 0.5

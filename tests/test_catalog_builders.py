@@ -1,0 +1,93 @@
+"""Tests for the TPC-H / TPC-DS / Real-1 / Real-2 schema builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.real import build_real1_catalog, build_real2_catalog
+from repro.catalog.tpcds import build_tpcds_catalog
+from repro.catalog.tpch import TPCH_TABLES, build_tpch_catalog
+
+
+class TestTpchCatalog:
+    def test_all_tables_present(self):
+        catalog = build_tpch_catalog(scale_factor=0.1)
+        for table in TPCH_TABLES:
+            assert table in catalog.tables
+
+    def test_row_counts_scale_with_scale_factor(self):
+        small = build_tpch_catalog(scale_factor=1.0)
+        large = build_tpch_catalog(scale_factor=4.0)
+        assert large.table("lineitem").row_count == 4 * small.table("lineitem").row_count
+        # Fixed tables do not scale.
+        assert large.table("nation").row_count == small.table("nation").row_count == 25
+
+    def test_database_size_roughly_matches_scale_factor(self):
+        catalog = build_tpch_catalog(scale_factor=1.0)
+        assert 0.4 <= catalog.total_gb <= 2.5
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            build_tpch_catalog(scale_factor=0.0)
+
+    def test_primary_indexes_exist(self):
+        catalog = build_tpch_catalog(scale_factor=0.1)
+        assert catalog.clustered_index("lineitem") is not None
+        assert catalog.find_index_on("orders", "o_orderdate") is not None
+
+    def test_skew_recorded_in_properties(self):
+        catalog = build_tpch_catalog(scale_factor=0.1, skew_z=2.0)
+        assert catalog.properties["skew_z"] == 2.0
+
+    def test_skew_changes_distribution(self):
+        uniform = build_tpch_catalog(scale_factor=0.1, skew_z=0.0)
+        skewed = build_tpch_catalog(scale_factor=0.1, skew_z=2.0)
+        col_u = uniform.table("lineitem").column("l_quantity")
+        col_s = skewed.table("lineitem").column("l_quantity")
+        rows = uniform.table("lineitem").row_count
+        assert col_s.resolved_distribution(rows).eq_selectivity(0) > col_u.resolved_distribution(
+            rows
+        ).eq_selectivity(0)
+
+
+class TestTpcdsCatalog:
+    def test_fact_and_dimension_tables_present(self):
+        catalog = build_tpcds_catalog(scale_factor=1.0)
+        for table in ("store_sales", "catalog_sales", "web_sales", "item", "date_dim", "customer"):
+            assert table in catalog.tables
+
+    def test_default_size_near_10gb(self):
+        catalog = build_tpcds_catalog()
+        assert 3.0 <= catalog.total_gb <= 25.0
+
+    def test_indexes_reference_valid_columns(self):
+        catalog = build_tpcds_catalog(scale_factor=0.5)
+        for index in catalog.indexes.values():
+            table = catalog.table(index.table_name)
+            for column in index.key_columns:
+                assert table.has_column(column)
+
+
+class TestRealCatalogs:
+    def test_real1_size_near_9gb(self):
+        catalog = build_real1_catalog()
+        assert 5.0 <= catalog.total_gb <= 14.0
+
+    def test_real2_size_near_12gb(self):
+        catalog = build_real2_catalog()
+        assert 8.0 <= catalog.total_gb <= 18.0
+
+    def test_real2_larger_than_real1(self):
+        assert build_real2_catalog().total_bytes > build_real1_catalog().total_bytes
+
+    def test_real2_has_enough_tables_for_12_way_joins(self):
+        catalog = build_real2_catalog()
+        assert len(catalog.tables) >= 13
+
+    def test_schemas_do_not_overlap_tpch(self):
+        """The real workloads must be structurally unrelated to TPC-H."""
+        tpch = set(build_tpch_catalog(scale_factor=0.01).tables)
+        real1 = set(build_real1_catalog().tables)
+        real2 = set(build_real2_catalog().tables)
+        assert not (tpch & real1)
+        assert not (tpch & real2)

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_parses_with_options(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "figure_7", "--profile", "fast", "--output", str(tmp_path)]
+        )
+        assert args.command == "run"
+        assert args.experiment == "figure_7"
+        assert args.profile == "fast"
+        assert args.output == tmp_path
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in out
+
+    def test_run_cheap_experiment_and_write_output(self, capsys, tmp_path):
+        assert main(["run", "figure_7", "--output", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        written = tmp_path / "figure_7.txt"
+        assert written.exists()
+        assert "Scaling-function selection" in written.read_text()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table_99"])

@@ -1,0 +1,146 @@
+"""Unit and property tests for the value-distribution substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.distributions import (
+    NormalDistribution,
+    UniformDistribution,
+    ZipfDistribution,
+    make_distribution,
+)
+
+
+class TestUniformDistribution:
+    def test_eq_selectivity_is_one_over_ndv(self):
+        dist = UniformDistribution(100)
+        assert dist.eq_selectivity(0) == pytest.approx(0.01)
+        assert dist.eq_selectivity(99) == pytest.approx(0.01)
+
+    def test_range_selectivity_equals_fraction(self):
+        dist = UniformDistribution(1000)
+        assert dist.range_selectivity(0.25) == pytest.approx(0.25)
+        assert dist.range_selectivity(0.25, anchor="tail") == pytest.approx(0.25)
+
+    def test_invalid_n_values(self):
+        with pytest.raises(ValueError):
+            UniformDistribution(0)
+
+
+class TestZipfDistribution:
+    def test_frequencies_sum_to_one(self):
+        dist = ZipfDistribution(500, z=1.0)
+        total = sum(dist.eq_selectivity(rank) for rank in range(500))
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_frequencies_decrease_with_rank(self):
+        dist = ZipfDistribution(200, z=1.5)
+        freqs = [dist.eq_selectivity(rank) for rank in range(200)]
+        assert all(a >= b for a, b in zip(freqs, freqs[1:]))
+
+    def test_zero_exponent_is_uniform(self):
+        dist = ZipfDistribution(50, z=0.0)
+        assert dist.eq_selectivity(0) == pytest.approx(1.0 / 50)
+        assert dist.eq_selectivity(49) == pytest.approx(1.0 / 50)
+
+    def test_head_range_exceeds_uniform_under_skew(self):
+        dist = ZipfDistribution(1000, z=1.0)
+        assert dist.range_selectivity(0.1, anchor="head") > 0.1
+
+    def test_tail_range_below_uniform_under_skew(self):
+        dist = ZipfDistribution(1000, z=1.0)
+        assert dist.range_selectivity(0.1, anchor="tail") < 0.1
+
+    def test_full_range_is_one(self):
+        dist = ZipfDistribution(1000, z=2.0)
+        assert dist.range_selectivity(1.0) == pytest.approx(1.0, rel=1e-6)
+
+    def test_analytic_approximation_large_domain(self):
+        """The analytic path (large NDV) roughly matches the exact one."""
+        exact = ZipfDistribution(100_000, z=1.0)
+        approx = ZipfDistribution(1_000_000, z=1.0)
+        # Head mass of the top 1% of values should be in the same ballpark.
+        assert approx.range_selectivity(0.01) == pytest.approx(
+            exact.range_selectivity(0.01), rel=0.35
+        )
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(10, z=-1.0)
+
+    def test_sample_rank_within_domain(self):
+        dist = ZipfDistribution(50, z=1.0)
+        rng = np.random.default_rng(1)
+        ranks = [dist.sample_rank(rng) for _ in range(200)]
+        assert all(0 <= rank < 50 for rank in ranks)
+        # Skewed sampling should hit the head more often than the tail.
+        assert ranks.count(0) > ranks.count(49)
+
+    def test_skew_coefficient(self):
+        assert ZipfDistribution(10, z=1.7).skew_coefficient() == pytest.approx(1.7)
+
+
+class TestNormalDistribution:
+    def test_frequencies_sum_to_one(self):
+        dist = NormalDistribution(300, relative_std=0.3)
+        total = sum(dist.eq_selectivity(rank) for rank in range(300))
+        assert total == pytest.approx(1.0, rel=1e-9)
+
+    def test_head_heavier_than_tail(self):
+        dist = NormalDistribution(300, relative_std=0.2)
+        assert dist.range_selectivity(0.2, anchor="head") > dist.range_selectivity(
+            0.2, anchor="tail"
+        )
+
+    def test_invalid_std(self):
+        with pytest.raises(ValueError):
+            NormalDistribution(10, relative_std=0.0)
+
+
+class TestFactory:
+    def test_make_uniform(self):
+        assert isinstance(make_distribution("uniform", 10), UniformDistribution)
+
+    def test_make_zipf(self):
+        assert isinstance(make_distribution("zipf", 10, 1.0), ZipfDistribution)
+
+    def test_make_zipf_zero_param_degenerates_to_uniform(self):
+        assert isinstance(make_distribution("zipf", 10, 0.0), UniformDistribution)
+
+    def test_make_normal(self):
+        assert isinstance(make_distribution("normal", 10, 0.5), NormalDistribution)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_distribution("pareto", 10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_values=st.integers(min_value=2, max_value=5_000),
+    z=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+    fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_range_selectivity_is_a_probability(n_values, z, fraction):
+    """Property: any range selectivity is within [0, 1] for any skew."""
+    dist = ZipfDistribution(n_values, z)
+    for anchor in ("head", "tail"):
+        selectivity = dist.range_selectivity(fraction, anchor=anchor)
+        assert 0.0 <= selectivity <= 1.0 + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_values=st.integers(min_value=2, max_value=2_000),
+    z=st.floats(min_value=0.0, max_value=2.5, allow_nan=False),
+)
+def test_head_range_monotonic_in_fraction(n_values, z):
+    """Property: covering more of the domain never selects fewer rows."""
+    dist = ZipfDistribution(n_values, z)
+    fractions = np.linspace(0.0, 1.0, 9)
+    values = [dist.range_selectivity(f, anchor="head") for f in fractions]
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))

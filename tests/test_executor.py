@@ -1,0 +1,116 @@
+"""Tests for the execution simulator and pipeline decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.executor import QueryExecutor
+from repro.engine.hardware import HardwareProfile
+from repro.plan.operators import OperatorType
+
+
+class TestExecutionResults:
+    def test_every_operator_observed(self, executor, tpch_plans):
+        for plan in tpch_plans:
+            result = executor.execute(plan)
+            assert len(result.observations) == plan.operator_count()
+
+    def test_totals_are_sums_of_operators(self, executor, tpch_plans):
+        for plan in tpch_plans:
+            result = executor.execute(plan)
+            assert result.total_cpu_us == pytest.approx(
+                sum(o.actual_cpu_us for o in result.observations)
+            )
+            assert result.total_logical_io == pytest.approx(
+                sum(o.actual_logical_io for o in result.observations)
+            )
+
+    def test_resources_positive(self, executor, tpch_plans):
+        for plan in tpch_plans:
+            result = executor.execute(plan)
+            assert result.total_cpu_us > 0
+            assert result.total_logical_io > 0
+            for obs in result.observations:
+                assert obs.actual_cpu_us >= 0
+                assert obs.actual_logical_io >= 0
+
+    def test_pipeline_totals_sum_to_query_total(self, executor, tpch_plans):
+        for plan in tpch_plans:
+            result = executor.execute(plan)
+            for resource in ("cpu", "io"):
+                assert sum(result.pipeline_totals(resource).values()) == pytest.approx(
+                    result.total(resource)
+                )
+
+    def test_repeated_execution_is_deterministic(self, executor, tpch_plans):
+        plan = tpch_plans[0]
+        first = executor.execute(plan)
+        second = executor.execute(plan)
+        assert first.total_cpu_us == pytest.approx(second.total_cpu_us)
+
+    def test_different_seed_changes_noise(self, executor, tpch_plans):
+        plan = tpch_plans[0]
+        a = executor.execute(plan, seed=1).total_cpu_us
+        b = executor.execute(plan, seed=2).total_cpu_us
+        assert a != b
+
+    def test_noise_free_executor_matches_resource_model(self, tpch_plans):
+        quiet = QueryExecutor(noise=False)
+        plan = tpch_plans[0]
+        result = quiet.execute(plan)
+        expected = sum(
+            quiet.resource_model.operator_resources(op).cpu_us for op in plan.operators()
+        )
+        assert result.total_cpu_us == pytest.approx(expected)
+
+    def test_noise_is_bounded(self, tpch_plans):
+        noisy = QueryExecutor(HardwareProfile(noise_sigma=0.05))
+        quiet = QueryExecutor(noise=False)
+        plan = tpch_plans[0]
+        ratio = noisy.execute(plan).total_cpu_us / quiet.execute(plan).total_cpu_us
+        assert 0.7 < ratio < 1.3
+
+    def test_observation_lookup(self, executor, tpch_plans):
+        plan = tpch_plans[0]
+        result = executor.execute(plan)
+        obs = result.observation_for(plan.root)
+        assert obs.node_id == plan.root.node_id
+        assert result.by_operator()[plan.root.node_id] is obs
+
+    def test_unknown_resource_rejected(self, executor, tpch_plans):
+        result = executor.execute(tpch_plans[0])
+        with pytest.raises(ValueError):
+            result.total("memory")
+
+
+class TestPipelines:
+    def test_every_operator_in_exactly_one_pipeline(self, tpch_plans):
+        for plan in tpch_plans:
+            seen: dict[int, int] = {}
+            for pipeline in plan.pipelines():
+                for op in pipeline.operators:
+                    assert op.node_id not in seen
+                    seen[op.node_id] = pipeline.index
+            assert len(seen) == plan.operator_count()
+
+    def test_sort_children_start_new_pipelines(self, tpch_plans):
+        for plan in tpch_plans:
+            for op in plan.operators():
+                if op.op_type is OperatorType.SORT and op.children:
+                    assert plan.pipeline_of(op) != plan.pipeline_of(op.children[0])
+
+    def test_hash_join_probe_shares_pipeline_build_does_not(self, tpch_plans):
+        checked = False
+        for plan in tpch_plans:
+            for op in plan.operators():
+                if op.op_type is OperatorType.HASH_JOIN and len(op.children) == 2:
+                    probe, build = op.children
+                    assert plan.pipeline_of(op) == plan.pipeline_of(probe)
+                    assert plan.pipeline_of(op) != plan.pipeline_of(build)
+                    checked = True
+        assert checked, "expected at least one hash join in the TPC-H plans"
+
+    def test_blocking_operator_count_bounds_pipeline_count(self, tpch_plans):
+        for plan in tpch_plans:
+            blocking = sum(1 for op in plan.operators() if op.op_type.is_blocking)
+            assert len(plan.pipelines()) <= blocking + 1

@@ -1,0 +1,133 @@
+"""Tests for the experiment harness, configuration and reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LinearBaseline, OptimizerBaseline
+from repro.experiments.config import ExperimentConfig, get_config
+from repro.experiments.harness import TechniqueCache, evaluate_techniques
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.reporting import ResultSeries, ResultTable
+from repro.features.definitions import FeatureMode
+from repro.ml.mart import MARTConfig
+
+
+class TestConfig:
+    def test_default_profile_is_fast(self):
+        assert get_config().profile == "fast"
+
+    def test_paper_profile_scales_up(self):
+        fast, paper = get_config("fast"), get_config("paper")
+        assert paper.mart.n_iterations > fast.mart.n_iterations
+        assert sum(n for _, n in paper.tpch_scales) > sum(n for _, n in fast.tpch_scales)
+        assert paper.real2_queries == 887
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            get_config("huge")
+
+    def test_config_is_frozen(self):
+        config = get_config()
+        with pytest.raises(Exception):
+            config.profile = "other"  # type: ignore[misc]
+
+
+class TestReporting:
+    def test_result_table_render_contains_rows(self):
+        table = ResultTable("Table X", "demo", ["Technique", "L1"])
+        table.add_row(Technique="SCALING", L1=0.13)
+        table.add_row(Technique="MART", L1=0.57)
+        text = table.render()
+        assert "SCALING" in text and "0.13" in text and "Table X" in text
+
+    def test_result_series_render_and_summary(self):
+        series = ResultSeries("Figure X", "demo", "x", "y")
+        for i in range(20):
+            series.add_point("obs", float(i), float(i * 2))
+        series.summary["slope"] = 2.0
+        text = series.render(max_points=5)
+        assert "Figure X" in text and "slope" in text and "more" in text
+
+
+class TestHarness:
+    def test_evaluate_techniques_produces_rows(self, workload_split):
+        train, test = workload_split
+        results = evaluate_techniques(
+            [LinearBaseline(), OptimizerBaseline()],
+            train,
+            {"TPC-H": test},
+            resource="cpu",
+            mode=FeatureMode.ESTIMATED,
+            train_name="unit-test-train",
+            cache=TechniqueCache(),
+        )
+        assert len(results) == 2
+        for result in results:
+            row = result.as_row()
+            assert row["Test Set"] == "TPC-H"
+            assert np.isfinite(row["L1"])
+            buckets = row["R<=1.5"] + row["R in [1.5,2]"] + row["R>2"]
+            assert buckets == pytest.approx(100.0, abs=0.5)
+
+    def test_cache_reuses_fitted_techniques(self, workload_split):
+        train, test = workload_split
+        cache = TechniqueCache()
+        technique = LinearBaseline()
+        evaluate_techniques([technique], train, {"a": test}, "cpu",
+                            FeatureMode.EXACT, "cached-train", cache)
+        assert len(cache.entries) == 1
+        fitted_before = next(iter(cache.entries.values()))
+        evaluate_techniques([LinearBaseline()], train, {"b": test}, "cpu",
+                            FeatureMode.EXACT, "cached-train", cache)
+        assert len(cache.entries) == 1
+        assert next(iter(cache.entries.values())) is fitted_before
+
+
+class TestRegistry:
+    def test_all_paper_tables_and_figures_registered(self):
+        expected = {
+            "figure_1", "figure_2", "figure_3", "figure_6", "figure_7", "figure_8",
+            "table_4", "table_5", "table_6", "table_7", "table_8", "table_9",
+            "table_10", "table_11", "table_12", "table_13",
+            "prediction_cost", "model_memory",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("table_99")
+
+
+class TestCheapExperiments:
+    """Experiments that need no workload execution run as part of the tests."""
+
+    def test_figure_7_selects_nlogn_for_sort(self):
+        result = run_experiment("figure_7")
+        assert result.summary["best_function_is_nlogn"] == 1.0
+        assert result.summary["l2_error:nlogn"] < result.summary["l2_error:quadratic"]
+        assert result.summary["l2_error:nlogn"] < result.summary["l2_error:linear"]
+
+    def test_figure_8_selects_outer_log_inner_for_nlj(self):
+        result = run_experiment("figure_8")
+        assert result.summary["best_function_is_outer_log_inner"] == 1.0
+
+    def test_table_13_training_times_grow_with_examples(self):
+        tiny = ExperimentConfig(
+            profile="fast",
+            tpch_scales=((0.05, 18),),
+            small_scale_limit=0.05,
+            tpch_skew=1.0,
+            tpcds_queries=12,
+            real1_queries=12,
+            real2_queries=12,
+            mart=MARTConfig(n_iterations=10),
+            training_time_sizes=(1_000, 4_000),
+            training_time_iterations=15,
+        )
+        result = run_experiment("table_13", tiny)
+        times = [row["Training Time (s)"] for row in result.rows]
+        sizes = [row["Training Examples"] for row in result.rows]
+        assert sizes == [1_000, 4_000]
+        assert times[1] > times[0] * 0.8  # larger sets are not cheaper

@@ -1,0 +1,153 @@
+"""Tests for feature definitions, dependencies and extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.features.definitions import (
+    FeatureMode,
+    GLOBAL_FEATURES,
+    OPERATOR_FAMILIES,
+    OperatorFamily,
+    features_for_family,
+    operator_family,
+    scalable_features,
+)
+from repro.features.dependencies import FEATURE_DEPENDENCIES, dependent_features
+from repro.features.extractor import FeatureExtractor
+from repro.plan.operators import OperatorType
+
+
+class TestDefinitions:
+    def test_every_operator_type_has_a_family(self):
+        for op_type in OperatorType:
+            assert op_type in OPERATOR_FAMILIES
+            assert isinstance(operator_family(op_type), OperatorFamily)
+
+    def test_family_features_include_globals(self):
+        for family in OperatorFamily:
+            names = features_for_family(family)
+            for feature in GLOBAL_FEATURES:
+                assert feature in names
+
+    def test_paper_table2_features_present(self):
+        assert "TSIZE" in features_for_family(OperatorFamily.SCAN)
+        assert "INDEXDEPTH" in features_for_family(OperatorFamily.SEEK)
+        assert "MINCOMP" in features_for_family(OperatorFamily.SORT)
+        assert "SSEEKTABLE" in features_for_family(OperatorFamily.NESTED_LOOP_JOIN)
+        assert "SINSUM" in features_for_family(OperatorFamily.MERGE_JOIN)
+        assert "CHASHCOL" in features_for_family(OperatorFamily.HASH_AGGREGATE)
+
+    def test_scalable_features_exclude_categoricals_and_counts(self):
+        for family in OperatorFamily:
+            scalable = scalable_features(family, "cpu")
+            assert "OUTPUTUSAGE" not in scalable
+            assert "CSORTCOL" not in scalable
+            assert "CINNERCOL" not in scalable
+
+    def test_io_excludes_cpu_only_totals(self):
+        cpu = scalable_features(OperatorFamily.SORT, "cpu")
+        io = scalable_features(OperatorFamily.SORT, "io")
+        assert "MINCOMP" in cpu
+        assert "MINCOMP" not in io
+
+
+class TestDependencies:
+    def test_sintot_depends_on_cin_but_sinavg_does_not(self):
+        assert "SINTOT1" in dependent_features("CIN1")
+        assert "SINAVG1" not in dependent_features("CIN1")
+
+    def test_souttot_depends_on_cout_and_width(self):
+        assert "SOUTTOT" in dependent_features("COUT")
+        assert "SOUTTOT" in dependent_features("SOUTAVG")
+
+    def test_tsize_drives_pages_and_estiocost(self):
+        deps = dependent_features("TSIZE")
+        assert "PAGES" in deps and "ESTIOCOST" in deps
+
+    def test_unknown_feature_has_no_dependencies(self):
+        assert dependent_features("NOT_A_FEATURE") == frozenset()
+
+    def test_dependency_table_references_known_features(self):
+        known = set(GLOBAL_FEATURES)
+        for family in OperatorFamily:
+            known.update(features_for_family(family))
+        for feature, dependents in FEATURE_DEPENDENCIES.items():
+            assert feature in known
+            assert dependents <= known
+
+
+class TestExtraction:
+    def test_cout_and_souttot_consistent(self, planner, tpch_queries):
+        extractor = FeatureExtractor(FeatureMode.EXACT)
+        plan = planner.plan(tpch_queries[0])
+        for features in extractor.extract_plan(plan).values():
+            assert features.get("SOUTTOT") == pytest.approx(
+                features.get("COUT") * features.get("SOUTAVG")
+            )
+
+    def test_leaf_inputs_are_table_rows(self, planner, tpch_queries):
+        extractor = FeatureExtractor(FeatureMode.EXACT)
+        for query in tpch_queries[:6]:
+            plan = planner.plan(query)
+            features = extractor.extract_plan(plan)
+            for op in plan.operators():
+                if op.op_type.is_leaf:
+                    values = features[op.node_id]
+                    assert values.get("CIN1") == pytest.approx(op.props["table_rows"])
+                    assert values.get("TSIZE") == pytest.approx(op.props["table_rows"])
+
+    def test_root_has_zero_outputusage(self, planner, tpch_queries):
+        extractor = FeatureExtractor(FeatureMode.EXACT)
+        plan = planner.plan(tpch_queries[0])
+        features = extractor.extract_plan(plan)
+        assert features[plan.root.node_id].get("OUTPUTUSAGE") == 0.0
+        for op in plan.operators():
+            if op is not plan.root:
+                assert features[op.node_id].get("OUTPUTUSAGE") > 0.0
+
+    def test_estimated_mode_differs_when_cardinality_errors_exist(self, planner, tpch_queries):
+        exact = FeatureExtractor(FeatureMode.EXACT)
+        estimated = FeatureExtractor(FeatureMode.ESTIMATED)
+        differences = 0
+        for query in tpch_queries:
+            plan = planner.plan(query)
+            exact_features = exact.extract_plan(plan)
+            estimated_features = estimated.extract_plan(plan)
+            for node_id in exact_features:
+                if exact_features[node_id].get("COUT") != estimated_features[node_id].get("COUT"):
+                    differences += 1
+        assert differences > 0
+
+    def test_scan_counts_exact_in_both_modes(self, planner, tpch_queries):
+        """Full scans report exact cardinalities even in ESTIMATED mode."""
+        estimated = FeatureExtractor(FeatureMode.ESTIMATED)
+        for query in tpch_queries[:6]:
+            plan = planner.plan(query)
+            features = estimated.extract_plan(plan)
+            for op in plan.operators():
+                if op.op_type in (OperatorType.TABLE_SCAN, OperatorType.INDEX_SCAN):
+                    assert features[op.node_id].get("COUT") == pytest.approx(op.true_rows)
+
+    def test_operator_specific_features_present(self, planner, tpch_queries):
+        extractor = FeatureExtractor(FeatureMode.EXACT)
+        seen_families = set()
+        for query in tpch_queries:
+            plan = planner.plan(query)
+            features = extractor.extract_plan(plan)
+            for op in plan.operators():
+                values = features[op.node_id]
+                seen_families.add(values.family)
+                for name in features_for_family(values.family):
+                    assert name in values.values or values.get(name) == 0.0
+        assert OperatorFamily.SCAN in seen_families
+        assert OperatorFamily.HASH_JOIN in seen_families
+
+    def test_vector_ordering_matches_family_features(self, planner, tpch_queries):
+        extractor = FeatureExtractor(FeatureMode.EXACT)
+        plan = planner.plan(tpch_queries[0])
+        features = next(iter(extractor.extract_plan(plan).values()))
+        vector = features.vector()
+        names = features_for_family(features.family)
+        assert len(vector) == len(names)
+        assert vector[names.index("COUT")] == features.get("COUT")

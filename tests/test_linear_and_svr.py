@@ -1,0 +1,156 @@
+"""Tests for linear regression, feature selection, kernels and kernel SVR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import NormalizedPolyKernel, PolyKernel, PukKernel, RBFKernel, make_kernel
+from repro.ml.linear import LinearRegressor, greedy_feature_selection
+from repro.ml.svr import KernelSVR
+
+
+def linear_data(n: int = 300, seed: int = 2):
+    rng = np.random.default_rng(seed)
+    x = np.column_stack([rng.uniform(0, 100, n), rng.uniform(0, 10, n), rng.uniform(0, 1, n)])
+    y = 4.0 * x[:, 0] + 20.0 * x[:, 1] + 3.0 + rng.normal(0, 0.5, n)
+    return x, y
+
+
+class TestLinearRegressor:
+    def test_recovers_coefficients(self):
+        x, y = linear_data()
+        model = LinearRegressor(ridge=0.0).fit(x, y)
+        assert model.coefficients_[0] == pytest.approx(4.0, abs=0.1)
+        assert model.coefficients_[1] == pytest.approx(20.0, abs=0.3)
+        assert model.intercept_ == pytest.approx(3.0, abs=1.0)
+
+    def test_extrapolates_linearly(self):
+        x, y = linear_data()
+        model = LinearRegressor().fit(x, y)
+        probe = np.array([[1000.0, 5.0, 0.5]])
+        assert model.predict(probe)[0] == pytest.approx(4.0 * 1000 + 20 * 5 + 3, rel=0.05)
+
+    def test_clip_negative(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0.0, 10.0, 20.0])
+        clipped = LinearRegressor(clip_negative=True).fit(x, y)
+        unclipped = LinearRegressor(clip_negative=False).fit(x, y)
+        probe = np.array([[-5.0]])
+        assert clipped.predict(probe)[0] == 0.0
+        assert unclipped.predict(probe)[0] < 0.0
+
+    def test_collinear_features_handled(self):
+        rng = np.random.default_rng(0)
+        base = rng.uniform(0, 1e6, size=(100, 1))
+        x = np.hstack([base, base, base * 2.0])
+        y = base[:, 0] * 3.0
+        model = LinearRegressor().fit(x, y)
+        assert np.isfinite(model.predict(x)).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LinearRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            LinearRegressor().fit(np.empty((0, 2)), np.empty(0))
+        with pytest.raises(RuntimeError):
+            LinearRegressor().predict(np.zeros((1, 2)))
+
+
+class TestFeatureSelection:
+    def test_selects_informative_features(self):
+        rng = np.random.default_rng(4)
+        informative = rng.uniform(0, 10, size=(200, 2))
+        noise = rng.uniform(0, 10, size=(200, 3))
+        x = np.hstack([informative, noise])
+        y = 5.0 * informative[:, 0] + 2.0 * informative[:, 1] + rng.normal(0, 0.1, 200)
+        selected = greedy_feature_selection(x, y, max_features=3)
+        assert 0 in selected
+        assert 1 in selected
+
+    def test_never_returns_empty(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(size=(50, 3))
+        y = rng.uniform(size=50)
+        assert greedy_feature_selection(x, y)
+
+    def test_respects_max_features(self):
+        x, y = linear_data()
+        assert len(greedy_feature_selection(x, y, max_features=1)) == 1
+
+
+class TestKernels:
+    def test_poly_kernel_values(self):
+        kernel = PolyKernel(2)
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[1.0, 1.0]])
+        assert kernel(a, b)[0, 0] == pytest.approx((1.0 + 1.0) ** 2)
+
+    def test_rbf_diagonal_is_one(self):
+        kernel = RBFKernel(0.5)
+        x = np.random.default_rng(0).uniform(size=(5, 3))
+        gram = kernel(x, x)
+        assert np.allclose(np.diagonal(gram), 1.0)
+
+    def test_normalized_poly_bounded_by_one(self):
+        kernel = NormalizedPolyKernel(3)
+        x = np.random.default_rng(1).uniform(size=(6, 3))
+        assert np.all(kernel(x, x) <= 1.0 + 1e-9)
+
+    def test_puk_symmetric(self):
+        kernel = PukKernel()
+        x = np.random.default_rng(2).uniform(size=(5, 2))
+        gram = kernel(x, x)
+        assert np.allclose(gram, gram.T)
+
+    def test_factory(self):
+        assert isinstance(make_kernel("poly", degree=3), PolyKernel)
+        assert isinstance(make_kernel("rbf", gamma=0.1), RBFKernel)
+        assert isinstance(make_kernel("normalized_poly"), NormalizedPolyKernel)
+        assert isinstance(make_kernel("puk"), PukKernel)
+        with pytest.raises(ValueError):
+            make_kernel("linear_kernel")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RBFKernel(0.0)
+        with pytest.raises(ValueError):
+            PolyKernel(0)
+
+
+class TestKernelSVR:
+    def test_fits_nonlinear_data(self):
+        rng = np.random.default_rng(6)
+        x = rng.uniform(0, 10, size=(400, 2))
+        y = x[:, 0] ** 2 + 3.0 * x[:, 1] + rng.normal(0, 0.2, 400)
+        model = KernelSVR(kernel=PolyKernel(2)).fit(x[:300], y[:300])
+        pred = model.predict(x[300:])
+        relative = np.abs(pred - y[300:]) / np.maximum(np.abs(y[300:]), 1e-9)
+        assert float(np.median(relative)) < 0.1
+
+    def test_subsamples_large_training_sets(self):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(size=(3000, 2))
+        y = x[:, 0] + x[:, 1]
+        model = KernelSVR(max_train_points=500).fit(x, y)
+        assert model.support_points_.shape[0] == 500
+
+    def test_epsilon_refinement_does_not_destroy_fit(self):
+        rng = np.random.default_rng(8)
+        x = rng.uniform(0, 10, size=(300, 2))
+        y = 2.0 * x[:, 0] + x[:, 1]
+        plain = KernelSVR(epsilon=0.0).fit(x, y).predict(x)
+        refined = KernelSVR(epsilon=0.05, refine_iterations=50).fit(x, y).predict(x)
+        plain_err = float(np.mean(np.abs(plain - y)))
+        refined_err = float(np.mean(np.abs(refined - y)))
+        assert refined_err <= plain_err * 5 + 1.0
+
+    def test_clip_negative_default(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 1.0, 2.0, 3.0])
+        model = KernelSVR(kernel=RBFKernel(1.0)).fit(x, y)
+        assert np.all(model.predict(np.array([[-10.0]])) >= 0.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KernelSVR().predict(np.zeros((1, 2)))

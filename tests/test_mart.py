@@ -1,0 +1,104 @@
+"""Tests for the MART (gradient-boosted trees) regressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.mart import MARTConfig, MARTRegressor
+
+
+def nonlinear_data(n: int = 600, seed: int = 1):
+    rng = np.random.default_rng(seed)
+    x = np.column_stack([rng.uniform(1, 1000, n), rng.uniform(1, 50, n)])
+    y = 0.02 * x[:, 0] * np.log2(x[:, 0]) + 5.0 * x[:, 1] + rng.normal(0, 2.0, n)
+    return x, y
+
+
+class TestTraining:
+    def test_fits_nonlinear_function(self):
+        x, y = nonlinear_data()
+        model = MARTRegressor(MARTConfig(n_iterations=120)).fit(x[:500], y[:500])
+        pred = model.predict(x[500:])
+        relative = np.abs(pred - y[500:]) / np.maximum(np.abs(y[500:]), 1e-9)
+        assert float(np.median(relative)) < 0.1
+
+    def test_more_iterations_reduce_training_error(self):
+        x, y = nonlinear_data()
+
+        def training_error(iterations: int) -> float:
+            model = MARTRegressor(MARTConfig(n_iterations=iterations, subsample=1.0)).fit(x, y)
+            return float(np.mean((model.predict(x) - y) ** 2))
+
+        assert training_error(100) < training_error(5)
+
+    def test_config_overrides(self):
+        model = MARTRegressor(n_iterations=7, learning_rate=0.3)
+        assert model.config.n_iterations == 7
+        assert model.config.learning_rate == 0.3
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            MARTRegressor(MARTConfig(n_iterations=0))
+        with pytest.raises(ValueError):
+            MARTRegressor(MARTConfig(learning_rate=0.0))
+        with pytest.raises(ValueError):
+            MARTRegressor(MARTConfig(subsample=1.5))
+
+    def test_constant_target_stops_early(self):
+        x = np.random.default_rng(0).uniform(size=(50, 2))
+        model = MARTRegressor(MARTConfig(n_iterations=100)).fit(x, np.full(50, 3.0))
+        assert model.n_trees == 0
+        assert model.predict(x)[0] == pytest.approx(3.0)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            MARTRegressor().fit(np.empty((0, 2)), np.empty(0))
+
+
+class TestPrediction:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MARTRegressor().predict(np.zeros((1, 2)))
+
+    def test_feature_count_checked(self):
+        x, y = nonlinear_data(100)
+        model = MARTRegressor(MARTConfig(n_iterations=5)).fit(x, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 5)))
+
+    def test_single_row_prediction_shape(self):
+        x, y = nonlinear_data(100)
+        model = MARTRegressor(MARTConfig(n_iterations=5)).fit(x, y)
+        assert model.predict(x[0]).shape == (1,)
+
+    def test_training_range_recorded(self):
+        x, y = nonlinear_data(100)
+        model = MARTRegressor(MARTConfig(n_iterations=5)).fit(x, y)
+        low, high = model.training_range(0)
+        assert low == pytest.approx(x[:, 0].min())
+        assert high == pytest.approx(x[:, 0].max())
+
+    def test_staged_predictions_converge(self):
+        x, y = nonlinear_data(300)
+        model = MARTRegressor(MARTConfig(n_iterations=60, subsample=1.0)).fit(x, y)
+        stages = model.staged_predict(x, every=20)
+        errors = [float(np.mean((stage - y) ** 2)) for stage in stages]
+        assert errors[-1] <= errors[0]
+
+
+@settings(max_examples=15, deadline=None)
+@given(scale=st.floats(min_value=2.0, max_value=50.0, allow_nan=False))
+def test_mart_cannot_extrapolate(scale):
+    """Property (the paper's Figure 3): predictions for inputs far above the
+    training range stay near the largest trained response."""
+    rng = np.random.default_rng(3)
+    x = rng.uniform(0, 100, size=(300, 1))
+    y = 3.0 * x[:, 0]
+    model = MARTRegressor(MARTConfig(n_iterations=60)).fit(x, y)
+    probe = np.array([[100.0 * scale]])
+    prediction = float(model.predict(probe)[0])
+    assert prediction <= y.max() * 1.05
+    assert prediction < 3.0 * 100.0 * scale * 0.9  # badly underestimates the truth

@@ -1,0 +1,213 @@
+"""Tests for the planner: access paths, join ordering/algorithms, plan shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plan.operators import OperatorType
+from repro.query.builders import conjunction, range_predicate
+from repro.query.spec import AggregateSpec, JoinEdge, OrderBySpec, QuerySpec, TableRef
+
+import numpy as np
+
+
+class TestPlanShape:
+    def test_all_plans_have_one_leaf_per_table(self, planner, tpch_queries):
+        for query in tpch_queries:
+            plan = planner.plan(query)
+            leaves = [op for op in plan.operators() if op.op_type.is_leaf]
+            assert len(leaves) == len(query.tables)
+
+    def test_all_plans_have_one_join_per_edge_at_least(self, planner, tpch_queries):
+        for query in tpch_queries:
+            plan = planner.plan(query)
+            joins = [op for op in plan.operators() if op.op_type.is_join]
+            assert len(joins) == len(query.tables) - 1
+
+    def test_cardinalities_are_annotated(self, planner, tpch_queries):
+        for query in tpch_queries:
+            plan = planner.plan(query)
+            for op in plan.operators():
+                assert op.est_rows >= 0
+                assert op.true_rows >= 0
+                assert op.row_width > 0
+
+    def test_sort_present_when_order_by(self, planner, tpch_queries):
+        for query in tpch_queries:
+            plan = planner.plan(query)
+            has_sort = any(op.op_type is OperatorType.SORT for op in plan.operators())
+            if query.order_by is not None and query.order_by.columns:
+                assert has_sort
+
+    def test_top_present_when_limit(self, planner, tpch_queries):
+        for query in tpch_queries:
+            plan = planner.plan(query)
+            has_top = any(op.op_type is OperatorType.TOP for op in plan.operators())
+            assert has_top == (query.limit is not None)
+
+    def test_aggregate_present_when_grouping(self, planner, tpch_queries):
+        for query in tpch_queries:
+            plan = planner.plan(query)
+            has_agg = any(op.op_type.is_aggregate for op in plan.operators())
+            assert has_agg == (query.aggregate is not None)
+
+    def test_optimizer_costs_annotated(self, planner, tpch_queries):
+        for query in tpch_queries:
+            plan = planner.plan(query)
+            assert plan.total_estimated_cost > 0
+
+    def test_describe_renders(self, planner, tpch_queries):
+        plan = planner.plan(tpch_queries[0])
+        text = plan.describe()
+        assert "Plan for" in text and "rows" in text
+
+
+class TestAccessPathChoice:
+    def test_selective_predicate_uses_index_seek(self, planner):
+        query = QuerySpec(
+            name="seek",
+            tables=[
+                TableRef(
+                    "orders",
+                    predicates=conjunction(
+                        range_predicate(
+                            np.random.default_rng(0), "orders", "o_orderkey", 0.001, 0.002
+                        )
+                    ),
+                    projected_columns=["o_orderkey", "o_totalprice"],
+                )
+            ],
+        )
+        plan = planner.plan(query)
+        assert any(op.op_type is OperatorType.INDEX_SEEK for op in plan.operators())
+
+    def test_unselective_predicate_uses_scan(self, planner):
+        query = QuerySpec(
+            name="scan",
+            tables=[
+                TableRef(
+                    "orders",
+                    predicates=conjunction(
+                        range_predicate(
+                            np.random.default_rng(0), "orders", "o_orderkey", 0.8, 0.9
+                        )
+                    ),
+                )
+            ],
+        )
+        plan = planner.plan(query)
+        types = {op.op_type for op in plan.operators()}
+        assert OperatorType.INDEX_SEEK not in types
+        assert types & {OperatorType.TABLE_SCAN, OperatorType.INDEX_SCAN}
+        # The filter must be applied explicitly.
+        assert OperatorType.FILTER in types
+
+    def test_filter_reduces_cardinality(self, planner):
+        query = QuerySpec(
+            name="filter",
+            tables=[
+                TableRef(
+                    "lineitem",
+                    predicates=conjunction(
+                        range_predicate(
+                            np.random.default_rng(1), "lineitem", "l_quantity", 0.3, 0.4
+                        )
+                    ),
+                )
+            ],
+        )
+        plan = planner.plan(query)
+        filters = [op for op in plan.operators() if op.op_type is OperatorType.FILTER]
+        assert filters
+        for filter_op in filters:
+            assert filter_op.true_rows <= filter_op.children[0].true_rows
+
+
+class TestJoinAlgorithms:
+    def _join_query(self, predicate_fraction: float) -> QuerySpec:
+        rng = np.random.default_rng(2)
+        return QuerySpec(
+            name="join",
+            tables=[
+                TableRef(
+                    "orders",
+                    predicates=conjunction(
+                        range_predicate(rng, "orders", "o_orderkey", predicate_fraction,
+                                        predicate_fraction + 0.001)
+                    ),
+                    projected_columns=["o_orderkey", "o_totalprice"],
+                ),
+                TableRef("lineitem", projected_columns=["l_orderkey", "l_quantity"]),
+            ],
+            joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        )
+
+    def test_small_outer_uses_nested_loop(self, planner):
+        plan = planner.plan(self._join_query(0.0005))
+        assert any(op.op_type is OperatorType.NESTED_LOOP_JOIN for op in plan.operators())
+
+    def test_large_inputs_use_hash_join(self, planner, tpch_catalog):
+        query = QuerySpec(
+            name="bigjoin",
+            tables=[
+                TableRef("orders", projected_columns=["o_orderkey", "o_custkey"]),
+                TableRef("lineitem", projected_columns=["l_orderkey", "l_quantity"]),
+            ],
+            joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        )
+        plan = planner.plan(query)
+        join_ops = [op for op in plan.operators() if op.op_type.is_join]
+        assert join_ops
+        # With both unfiltered inputs larger than the nested-loop outer
+        # threshold the planner must not pick an index nested loop join.
+        assert all(op.op_type is not OperatorType.NESTED_LOOP_JOIN for op in join_ops)
+
+    def test_hash_join_builds_on_smaller_input(self, planner, tpch_queries):
+        for query in tpch_queries:
+            plan = planner.plan(query)
+            for op in plan.operators():
+                if op.op_type is OperatorType.HASH_JOIN:
+                    probe, build = op.children
+                    assert build.est_rows <= probe.est_rows * 1.001
+
+    def test_nested_loop_annotates_inner_table(self, planner):
+        plan = planner.plan(self._join_query(0.0005))
+        for op in plan.operators():
+            if op.op_type is OperatorType.NESTED_LOOP_JOIN:
+                assert op.props["inner_table_rows"] > 0
+                assert op.props["index_depth"] >= 1
+
+
+class TestAggregationAndGrouping:
+    def test_scalar_aggregate_uses_stream_aggregate(self, planner):
+        query = QuerySpec(
+            name="scalar",
+            tables=[TableRef("lineitem", projected_columns=["l_quantity"])],
+            aggregate=AggregateSpec(group_by={}, n_aggregates=1),
+        )
+        plan = planner.plan(query)
+        assert any(op.op_type is OperatorType.STREAM_AGGREGATE for op in plan.operators())
+        assert plan.root.true_rows == 1
+
+    def test_grouped_aggregate_uses_hash_aggregate(self, planner):
+        query = QuerySpec(
+            name="grouped",
+            tables=[TableRef("lineitem", projected_columns=["l_returnflag", "l_quantity"])],
+            aggregate=AggregateSpec(group_by={"lineitem": ["l_returnflag"]}, n_aggregates=2),
+        )
+        plan = planner.plan(query)
+        agg = [op for op in plan.operators() if op.op_type is OperatorType.HASH_AGGREGATE]
+        assert agg
+        assert agg[0].true_rows <= agg[0].children[0].true_rows
+
+    def test_group_count_bounded_by_domain(self, planner):
+        query = QuerySpec(
+            name="grouped2",
+            tables=[TableRef("lineitem", projected_columns=["l_returnflag", "l_quantity"])],
+            aggregate=AggregateSpec(group_by={"lineitem": ["l_returnflag"]}, n_aggregates=1),
+            order_by=OrderBySpec([("lineitem", "l_returnflag")]),
+        )
+        plan = planner.plan(query)
+        for op in plan.operators():
+            if op.op_type is OperatorType.HASH_AGGREGATE:
+                assert op.true_rows <= 3 + 1e-6  # l_returnflag has 3 distinct values

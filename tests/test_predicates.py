@@ -1,0 +1,137 @@
+"""Tests for predicates and predicate conjunctions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.statistics import StatisticsCatalog
+from repro.catalog.tpch import build_tpch_catalog
+from repro.query.predicates import ColumnRef, Predicate, PredicateConjunction
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_tpch_catalog(scale_factor=0.05, skew_z=1.5)
+
+
+@pytest.fixture(scope="module")
+def statistics(catalog):
+    return StatisticsCatalog(catalog)
+
+
+def range_pred(fraction: float, anchor: str = "head") -> Predicate:
+    return Predicate(
+        column=ColumnRef("lineitem", "l_shipdate"),
+        kind="range",
+        domain_fraction=fraction,
+        anchor=anchor,
+    )
+
+
+class TestPredicate:
+    def test_eq_selectivity_uses_value_rank(self, catalog):
+        frequent = Predicate(ColumnRef("lineitem", "l_quantity"), kind="eq", value_rank=0)
+        rare = Predicate(ColumnRef("lineitem", "l_quantity"), kind="eq", value_rank=40)
+        assert frequent.true_selectivity(catalog) > rare.true_selectivity(catalog)
+
+    def test_in_predicate_sums_head_values(self, catalog):
+        one = Predicate(ColumnRef("lineitem", "l_shipmode"), kind="in", value_count=1)
+        three = Predicate(ColumnRef("lineitem", "l_shipmode"), kind="in", value_count=3)
+        assert three.true_selectivity(catalog) > one.true_selectivity(catalog)
+
+    def test_head_range_amplified_by_skew(self, catalog):
+        pred = range_pred(0.1, anchor="head")
+        assert pred.true_selectivity(catalog) > 0.1
+
+    def test_estimated_selectivity_within_bounds(self, catalog, statistics):
+        pred = range_pred(0.3)
+        assert 0.0 <= pred.estimated_selectivity(statistics) <= 1.0
+
+    def test_estimate_differs_from_truth_under_skew(self, catalog, statistics):
+        """The optimizer view loses part of the skew information."""
+        pred = Predicate(ColumnRef("orders", "o_orderdate"), kind="eq", value_rank=0)
+        truth = pred.true_selectivity(catalog)
+        estimate = pred.estimated_selectivity(statistics)
+        assert truth > estimate  # the most frequent value is underestimated
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Predicate(ColumnRef("a", "b"), kind="between")
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            Predicate(ColumnRef("a", "b"), domain_fraction=1.5)
+
+    def test_sargable_check(self):
+        pred = range_pred(0.1)
+        assert pred.is_sargable_on("l_shipdate")
+        assert not pred.is_sargable_on("l_orderkey")
+
+
+class TestPredicateConjunction:
+    def test_empty_conjunction_selects_everything(self, catalog, statistics):
+        conj = PredicateConjunction()
+        assert conj.true_selectivity(catalog) == 1.0
+        assert conj.estimated_selectivity(statistics) == 1.0
+        assert not conj
+
+    def test_independent_predicates_multiply(self, catalog):
+        a, b = range_pred(0.4), range_pred(0.3, anchor="tail")
+        conj = PredicateConjunction([a, b], correlation=0.0)
+        expected = a.true_selectivity(catalog) * b.true_selectivity(catalog)
+        assert conj.true_selectivity(catalog) == pytest.approx(expected)
+
+    def test_fully_correlated_predicates_take_minimum(self, catalog):
+        a, b = range_pred(0.4), range_pred(0.3, anchor="tail")
+        conj = PredicateConjunction([a, b], correlation=1.0)
+        expected = min(a.true_selectivity(catalog), b.true_selectivity(catalog))
+        assert conj.true_selectivity(catalog) == pytest.approx(expected)
+
+    def test_optimizer_always_assumes_independence(self, catalog, statistics):
+        a, b = range_pred(0.4), range_pred(0.3, anchor="tail")
+        independent = PredicateConjunction([a, b], correlation=0.0)
+        correlated = PredicateConjunction([a, b], correlation=0.9)
+        assert independent.estimated_selectivity(statistics) == pytest.approx(
+            correlated.estimated_selectivity(statistics)
+        )
+        # ... which makes correlated conjunctions underestimated.
+        assert correlated.estimated_selectivity(statistics) < correlated.true_selectivity(catalog)
+
+    def test_residual_removes_predicate(self):
+        a, b = range_pred(0.4), range_pred(0.3)
+        conj = PredicateConjunction([a, b])
+        residual = conj.residual(a)
+        assert len(residual) == 1
+        assert residual.predicates[0] is b
+        assert len(conj.residual(None)) == 2
+
+    def test_sargable_lookup(self):
+        a = range_pred(0.4)
+        b = Predicate(ColumnRef("lineitem", "l_quantity"), kind="eq")
+        conj = PredicateConjunction([a, b])
+        assert conj.sargable_predicate("l_quantity") is b
+        assert conj.sargable_predicate("l_partkey") is None
+
+    def test_total_complexity(self):
+        conj = PredicateConjunction([range_pred(0.1), range_pred(0.2)])
+        assert conj.total_complexity == 2
+
+    def test_invalid_correlation(self):
+        with pytest.raises(ValueError):
+            PredicateConjunction([], correlation=1.5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(correlation=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_correlation_interpolates_between_product_and_minimum(correlation):
+    """Property: the true combined selectivity always lies between the
+    independence product and the most selective member."""
+    catalog = build_tpch_catalog(scale_factor=0.01, skew_z=1.0)
+    a, b = range_pred(0.5), range_pred(0.4, anchor="tail")
+    conj = PredicateConjunction([a, b], correlation=correlation)
+    combined = conj.true_selectivity(catalog)
+    product = a.true_selectivity(catalog) * b.true_selectivity(catalog)
+    minimum = min(a.true_selectivity(catalog), b.true_selectivity(catalog))
+    assert product - 1e-12 <= combined <= minimum + 1e-12

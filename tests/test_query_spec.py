@@ -1,0 +1,106 @@
+"""Tests for query specifications and their validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.spec import AggregateSpec, JoinEdge, OrderBySpec, QuerySpec, TableRef
+
+
+def two_table_query() -> QuerySpec:
+    return QuerySpec(
+        name="q",
+        tables=[TableRef("orders"), TableRef("lineitem")],
+        joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+    )
+
+
+class TestJoinEdge:
+    def test_touches_and_other(self):
+        edge = JoinEdge("a", "x", "b", "y")
+        assert edge.touches("a") and edge.touches("b") and not edge.touches("c")
+        assert edge.other("a") == "b"
+        assert edge.column_for("b") == "y"
+        with pytest.raises(ValueError):
+            edge.other("c")
+
+
+class TestAggregateSpec:
+    def test_scalar_detection(self):
+        assert AggregateSpec(group_by={}).is_scalar
+        assert not AggregateSpec(group_by={"t": ["a"]}).is_scalar
+
+    def test_grouping_columns_flatten(self):
+        agg = AggregateSpec(group_by={"t": ["a", "b"], "s": ["c"]})
+        assert set(agg.grouping_columns) == {("t", "a"), ("t", "b"), ("s", "c")}
+
+
+class TestQuerySpecValidation:
+    def test_valid_query_passes(self):
+        two_table_query().validate()
+
+    def test_missing_tables_rejected(self):
+        with pytest.raises(ValueError):
+            QuerySpec(name="q", tables=[]).validate()
+
+    def test_duplicate_aliases_rejected(self):
+        spec = QuerySpec(name="q", tables=[TableRef("orders"), TableRef("orders")])
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_self_join_with_aliases_allowed(self):
+        spec = QuerySpec(
+            name="q",
+            tables=[TableRef("orders", alias="o1"), TableRef("orders", alias="o2")],
+            joins=[JoinEdge("o1", "o_orderkey", "o2", "o_orderkey")],
+        )
+        spec.validate()
+
+    def test_unknown_join_alias_rejected(self):
+        spec = QuerySpec(
+            name="q",
+            tables=[TableRef("orders"), TableRef("lineitem")],
+            joins=[JoinEdge("orders", "o_orderkey", "missing", "x")],
+        )
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_disconnected_join_graph_rejected(self):
+        spec = QuerySpec(
+            name="q",
+            tables=[TableRef("orders"), TableRef("lineitem"), TableRef("part")],
+            joins=[JoinEdge("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        )
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_multi_table_without_joins_rejected(self):
+        spec = QuerySpec(name="q", tables=[TableRef("orders"), TableRef("lineitem")])
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_unknown_group_by_alias_rejected(self):
+        spec = two_table_query()
+        spec.aggregate = AggregateSpec(group_by={"missing": ["x"]})
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_unknown_order_by_alias_rejected(self):
+        spec = two_table_query()
+        spec.order_by = OrderBySpec([("missing", "x")])
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_non_positive_limit_rejected(self):
+        spec = two_table_query()
+        spec.limit = 0
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_lookup_helpers(self):
+        spec = two_table_query()
+        assert spec.table_ref("orders").table == "orders"
+        with pytest.raises(KeyError):
+            spec.table_ref("missing")
+        assert spec.n_joins == 1
+        assert len(spec.joins_touching("lineitem")) == 1

@@ -1,0 +1,97 @@
+"""Tests for the CART regression tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.regression_tree import RegressionTree
+
+
+def step_data(n: int = 400, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 10, size=(n, 2))
+    y = np.where(x[:, 0] > 5.0, 100.0, 10.0) + rng.normal(0, 0.5, n)
+    return x, y
+
+
+class TestFitting:
+    def test_learns_a_step_function(self):
+        x, y = step_data()
+        tree = RegressionTree(max_leaves=4).fit(x, y)
+        low = tree.predict(np.array([[2.0, 5.0]]))[0]
+        high = tree.predict(np.array([[8.0, 5.0]]))[0]
+        assert low == pytest.approx(10.0, abs=2.0)
+        assert high == pytest.approx(100.0, abs=2.0)
+
+    def test_max_leaves_respected(self):
+        x, y = step_data()
+        for max_leaves in (2, 5, 10):
+            tree = RegressionTree(max_leaves=max_leaves).fit(x, y)
+            assert tree.n_leaves <= max_leaves
+
+    def test_min_samples_leaf_respected(self):
+        x, y = step_data(60)
+        tree = RegressionTree(max_leaves=10, min_samples_leaf=10).fit(x, y)
+        assert all(leaf.n_samples >= 10 for leaf in tree.root.leaves())
+
+    def test_constant_target_gives_single_leaf(self):
+        x = np.random.default_rng(0).uniform(size=(50, 3))
+        y = np.full(50, 7.0)
+        tree = RegressionTree().fit(x, y)
+        assert tree.n_leaves == 1
+        assert tree.predict(x)[0] == pytest.approx(7.0)
+
+    def test_single_row_dataset(self):
+        tree = RegressionTree().fit(np.array([[1.0, 2.0]]), np.array([5.0]))
+        assert tree.predict(np.array([[9.0, 9.0]]))[0] == pytest.approx(5.0)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_leaves=1)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.empty((0, 2)), np.empty(0))
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+
+class TestPrediction:
+    def test_vectorised_prediction_matches_scalar_routing(self):
+        x, y = step_data()
+        tree = RegressionTree(max_leaves=8).fit(x, y)
+        batch = tree.predict(x[:20])
+        single = np.array([tree._predict_one(row) for row in x[:20]])
+        assert np.allclose(batch, single)
+
+    def test_one_dimensional_input_accepted(self):
+        x, y = step_data()
+        tree = RegressionTree().fit(x, y)
+        assert tree.predict(x[0]).shape == (1,)
+
+    def test_depth_reported(self):
+        x, y = step_data()
+        tree = RegressionTree(max_leaves=6).fit(x, y)
+        assert tree.depth >= 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_predictions_bounded_by_training_targets(seed):
+    """Property: a regression tree can never predict outside the range of its
+    training targets — the formal statement of 'trees do not extrapolate'."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 100, size=(80, 3))
+    y = rng.uniform(-50, 50, size=80)
+    tree = RegressionTree(max_leaves=10).fit(x, y)
+    probe = rng.uniform(-1000, 1000, size=(40, 3))
+    predictions = tree.predict(probe)
+    assert predictions.min() >= y.min() - 1e-9
+    assert predictions.max() <= y.max() + 1e-9

@@ -1,0 +1,242 @@
+"""Tests for the ground-truth per-operator resource model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.hardware import HardwareProfile
+from repro.engine.resource_model import ResourceModel
+from repro.plan.operators import OperatorType, PlanOperator
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ResourceModel(HardwareProfile())
+
+
+def scan(rows: float, width: float = 100.0) -> PlanOperator:
+    pages = rows * width / 8192.0
+    return PlanOperator(
+        op_type=OperatorType.TABLE_SCAN,
+        est_rows=rows,
+        true_rows=rows,
+        row_width=width,
+        props={"table_rows": rows, "pages": pages, "row_width_full": width},
+    )
+
+
+def sort_over(rows: float, width: float = 100.0, columns: int = 1) -> PlanOperator:
+    return PlanOperator(
+        op_type=OperatorType.SORT,
+        children=[scan(rows, width)],
+        est_rows=rows,
+        true_rows=rows,
+        row_width=width,
+        props={"n_sort_columns": columns},
+    )
+
+
+class TestScan:
+    def test_cpu_grows_with_rows(self, model):
+        assert (
+            model.operator_resources(scan(1_000_000)).cpu_us
+            > model.operator_resources(scan(10_000)).cpu_us
+        )
+
+    def test_cpu_grows_superlinearly_with_width(self, model):
+        narrow = model.operator_resources(scan(100_000, width=40)).cpu_us
+        wide = model.operator_resources(scan(100_000, width=400)).cpu_us
+        assert wide > narrow * 2
+
+    def test_io_equals_pages(self, model):
+        op = scan(100_000)
+        assert model.operator_resources(op).logical_io == pytest.approx(op.props["pages"])
+
+    def test_resources_nonnegative(self, model):
+        res = model.operator_resources(scan(0))
+        assert res.cpu_us >= 0 and res.logical_io >= 0
+
+
+class TestSeek:
+    def _seek(self, executions: float, table_rows: float = 1_000_000, rows: float = 10.0):
+        return PlanOperator(
+            op_type=OperatorType.INDEX_SEEK,
+            est_rows=rows,
+            true_rows=rows,
+            row_width=50.0,
+            props={
+                "table_rows": table_rows,
+                "index_depth": 3,
+                "index_leaf_pages": table_rows * 50 / 8192.0,
+                "executions": executions,
+                "covering": True,
+            },
+        )
+
+    def test_io_grows_with_executions(self, model):
+        assert (
+            model.operator_resources(self._seek(1_000)).logical_io
+            > model.operator_resources(self._seek(1)).logical_io
+        )
+
+    def test_noncovering_seek_pays_lookups(self, model):
+        covering = self._seek(1, rows=500.0)
+        lookup = self._seek(1, rows=500.0)
+        lookup.props["covering"] = False
+        assert (
+            model.operator_resources(lookup).logical_io
+            > model.operator_resources(covering).logical_io
+        )
+
+
+class TestSort:
+    def test_cpu_superlinear_in_rows(self, model):
+        """Doubling the input should more than double the CPU (n log n)."""
+        small = model.operator_resources(sort_over(100_000)).cpu_us
+        large = model.operator_resources(sort_over(200_000)).cpu_us
+        assert large > 2.0 * small
+
+    def test_more_sort_columns_cost_more(self, model):
+        assert (
+            model.operator_resources(sort_over(100_000, columns=4)).cpu_us
+            > model.operator_resources(sort_over(100_000, columns=1)).cpu_us
+        )
+
+    def test_in_memory_sort_has_no_io(self, model):
+        assert model.operator_resources(sort_over(10_000)).logical_io == 0.0
+
+    def test_spilling_sort_incurs_io(self, model):
+        hw = HardwareProfile()
+        rows = hw.memory_grant_bytes / 100.0 * 3  # 3x the grant at width 100
+        assert model.operator_resources(sort_over(rows)).logical_io > 0.0
+
+    def test_spill_is_discontinuous(self, model):
+        """Resource usage jumps at the memory-grant boundary (multi-pass sort)."""
+        hw = HardwareProfile()
+        just_below = hw.memory_grant_bytes / 100.0 * 0.95
+        just_above = hw.memory_grant_bytes / 100.0 * 1.05
+        below = model.operator_resources(sort_over(just_below)).logical_io
+        above = model.operator_resources(sort_over(just_above)).logical_io
+        assert below == 0.0 and above > 0.0
+
+
+class TestJoinsAndAggregates:
+    def _hash_join(self, probe_rows: float, build_rows: float, columns: int = 1) -> PlanOperator:
+        return PlanOperator(
+            op_type=OperatorType.HASH_JOIN,
+            children=[scan(probe_rows, 60.0), scan(build_rows, 60.0)],
+            est_rows=probe_rows,
+            true_rows=probe_rows,
+            row_width=120.0,
+            props={"hash_columns": columns, "inner_columns": columns, "outer_columns": columns},
+        )
+
+    def test_hash_join_cpu_grows_with_inputs(self, model):
+        assert (
+            model.operator_resources(self._hash_join(1_000_000, 100_000)).cpu_us
+            > model.operator_resources(self._hash_join(100_000, 10_000)).cpu_us
+        )
+
+    def test_hash_join_more_columns_cost_more(self, model):
+        assert (
+            model.operator_resources(self._hash_join(100_000, 10_000, columns=3)).cpu_us
+            > model.operator_resources(self._hash_join(100_000, 10_000, columns=1)).cpu_us
+        )
+
+    def test_hash_join_spills_when_build_exceeds_grant(self, model):
+        hw = HardwareProfile()
+        big_build = hw.memory_grant_bytes / 60.0 * 2
+        assert model.operator_resources(self._hash_join(10_000, big_build)).logical_io > 0
+        assert model.operator_resources(self._hash_join(10_000, 10_000)).logical_io == 0
+
+    def test_nested_loop_cpu_grows_with_outer(self, model):
+        def nlj(outer: float) -> PlanOperator:
+            return PlanOperator(
+                op_type=OperatorType.NESTED_LOOP_JOIN,
+                children=[scan(outer, 40.0), scan(outer * 2, 40.0)],
+                est_rows=outer * 2,
+                true_rows=outer * 2,
+                row_width=80.0,
+                props={"outer_rows_true": outer, "inner_table_rows": 5_000_000, "index_depth": 3},
+            )
+
+        assert model.operator_resources(nlj(50_000)).cpu_us > model.operator_resources(
+            nlj(5_000)
+        ).cpu_us
+
+    def test_merge_join_linear_in_inputs(self, model):
+        def mj(rows: float) -> PlanOperator:
+            return PlanOperator(
+                op_type=OperatorType.MERGE_JOIN,
+                children=[scan(rows, 40.0), scan(rows, 40.0)],
+                est_rows=rows,
+                true_rows=rows,
+                row_width=80.0,
+                props={},
+            )
+
+        small = model.operator_resources(mj(10_000)).cpu_us
+        large = model.operator_resources(mj(100_000)).cpu_us
+        assert 5.0 < large / small < 20.0
+
+    def test_hash_aggregate_costs_scale_with_input(self, model):
+        def agg(rows: float) -> PlanOperator:
+            return PlanOperator(
+                op_type=OperatorType.HASH_AGGREGATE,
+                children=[scan(rows, 60.0)],
+                est_rows=min(rows, 100.0),
+                true_rows=min(rows, 100.0),
+                row_width=24.0,
+                props={"hash_columns": 2, "n_group_columns": 2, "n_aggregates": 3},
+            )
+
+        assert model.operator_resources(agg(1_000_000)).cpu_us > model.operator_resources(
+            agg(10_000)
+        ).cpu_us
+
+    def test_stream_aggregate_cheaper_than_hash_aggregate(self, model):
+        child = scan(100_000, 60.0)
+        hash_agg = PlanOperator(
+            op_type=OperatorType.HASH_AGGREGATE, children=[child], est_rows=10, true_rows=10,
+            row_width=24.0, props={"hash_columns": 1, "n_aggregates": 1},
+        )
+        stream_agg = PlanOperator(
+            op_type=OperatorType.STREAM_AGGREGATE, children=[child], est_rows=10, true_rows=10,
+            row_width=24.0, props={"n_aggregates": 1},
+        )
+        assert (
+            model.operator_resources(stream_agg).cpu_us
+            < model.operator_resources(hash_agg).cpu_us
+        )
+
+
+class TestUnaryOperators:
+    def test_filter_cpu_scales_with_complexity(self, model):
+        child = scan(200_000, 80.0)
+
+        def filt(complexity: int) -> PlanOperator:
+            return PlanOperator(
+                op_type=OperatorType.FILTER, children=[child], est_rows=10_000, true_rows=10_000,
+                row_width=80.0, props={"predicate_complexity": complexity},
+            )
+
+        assert model.operator_resources(filt(5)).cpu_us > model.operator_resources(filt(1)).cpu_us
+
+    def test_filter_has_no_io(self, model):
+        child = scan(10_000)
+        filt = PlanOperator(
+            op_type=OperatorType.FILTER, children=[child], est_rows=100, true_rows=100,
+            row_width=100.0, props={"predicate_complexity": 1},
+        )
+        assert model.operator_resources(filt).logical_io == 0.0
+
+    def test_top_and_compute_scalar_are_cheap(self, model):
+        child = scan(100_000)
+        top = PlanOperator(op_type=OperatorType.TOP, children=[child], est_rows=10, true_rows=10,
+                           row_width=100.0, props={"limit": 10})
+        compute = PlanOperator(op_type=OperatorType.COMPUTE_SCALAR, children=[child],
+                               est_rows=100_000, true_rows=100_000, row_width=100.0,
+                               props={"n_expressions": 2})
+        scan_cost = model.operator_resources(child).cpu_us
+        assert model.operator_resources(top).cpu_us < scan_cost
+        assert model.operator_resources(compute).cpu_us < scan_cost

@@ -1,0 +1,150 @@
+"""Tests for schema metadata: columns, tables, indexes, catalogs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.schema import (
+    PAGE_SIZE_BYTES,
+    Catalog,
+    Column,
+    ColumnType,
+    Index,
+    Table,
+)
+
+
+def make_table(rows: int = 10_000) -> Table:
+    return Table(
+        "t",
+        [
+            Column("id", ColumnType.INTEGER),
+            Column("payload", ColumnType.VARCHAR, width=60),
+            Column("price", ColumnType.DECIMAL),
+        ],
+        row_count=rows,
+    )
+
+
+class TestColumn:
+    def test_default_width_comes_from_type(self):
+        assert Column("a", ColumnType.INTEGER).width == 4
+        assert Column("b", ColumnType.BIGINT).width == 8
+
+    def test_explicit_width_wins(self):
+        assert Column("a", ColumnType.VARCHAR, width=120).width == 120
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Column("a", ColumnType.INTEGER, width=0)
+
+    def test_resolved_ndv_defaults_to_row_count(self):
+        assert Column("a").resolved_ndv(5_000) == 5_000
+        assert Column("a", ndv=10).resolved_ndv(5_000) == 10
+
+    def test_resolved_distribution_defaults_to_uniform(self):
+        dist = Column("a", ndv=4).resolved_distribution(100)
+        assert dist.eq_selectivity(0) == pytest.approx(0.25)
+
+
+class TestTable:
+    def test_row_width_includes_header(self):
+        table = make_table()
+        assert table.row_width == 10 + 4 + 60 + 8
+
+    def test_pages_scale_with_rows(self):
+        small = make_table(1_000)
+        large = make_table(100_000)
+        assert large.pages > small.pages
+        assert small.pages >= 1
+
+    def test_pages_consistent_with_page_size(self):
+        table = make_table(50_000)
+        assert table.pages * PAGE_SIZE_BYTES >= table.total_bytes * 0.9
+
+    def test_column_lookup(self):
+        table = make_table()
+        assert table.column("price").ctype is ColumnType.DECIMAL
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_width_of_projection(self):
+        table = make_table()
+        assert table.width_of(["id"]) < table.width_of(["id", "payload"])
+        assert table.width_of(None) == table.row_width
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("bad", [Column("a"), Column("a")], row_count=1)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Table("bad", [Column("a")], row_count=-1)
+
+
+class TestIndex:
+    def test_depth_grows_with_table_size(self):
+        small = make_table(1_000)
+        large = make_table(10_000_000)
+        index = Index("ix", "t", ["id"])
+        assert index.depth(large) > index.depth(small)
+        assert index.depth(small) >= 1
+
+    def test_clustered_leaf_wider_than_nonclustered(self):
+        table = make_table(100_000)
+        clustered = Index("cx", "t", ["id"], clustered=True)
+        nonclustered = Index("ix", "t", ["id"])
+        assert clustered.leaf_pages(table) > nonclustered.leaf_pages(table)
+
+    def test_covers(self):
+        table = make_table()
+        clustered = Index("cx", "t", ["id"], clustered=True)
+        narrow = Index("ix", "t", ["id"])
+        covering = Index("ix2", "t", ["id"], include_columns=["price"])
+        assert clustered.covers(["payload", "price"])
+        assert not narrow.covers(["price"])
+        assert covering.covers(["id", "price"])
+
+    def test_fanout_positive(self):
+        table = make_table()
+        assert Index("ix", "t", ["id"]).fanout(table) > 2
+
+
+class TestCatalog:
+    def build(self) -> Catalog:
+        cat = Catalog("db")
+        cat.add_table(make_table())
+        cat.add_index(Index("cx", "t", ["id"], clustered=True))
+        cat.add_index(Index("ix_price", "t", ["price"]))
+        return cat
+
+    def test_duplicate_table_rejected(self):
+        cat = self.build()
+        with pytest.raises(ValueError):
+            cat.add_table(make_table())
+
+    def test_index_on_unknown_table_rejected(self):
+        cat = self.build()
+        with pytest.raises(ValueError):
+            cat.add_index(Index("bad", "missing", ["id"]))
+
+    def test_index_on_unknown_column_rejected(self):
+        cat = self.build()
+        with pytest.raises(ValueError):
+            cat.add_index(Index("bad", "t", ["missing"]))
+
+    def test_lookup_helpers(self):
+        cat = self.build()
+        assert cat.table("t").name == "t"
+        assert cat.clustered_index("t").name == "cx"
+        assert cat.find_index_on("t", "price").name == "ix_price"
+        assert cat.find_index_on("t", "payload") is None
+        assert len(cat.indexes_on("t")) == 2
+
+    def test_size_accounting(self):
+        cat = self.build()
+        assert cat.total_bytes == cat.table("t").total_bytes
+        assert cat.total_gb == pytest.approx(cat.total_bytes / 1024**3)
+
+    def test_summary_mentions_tables(self):
+        assert "t" in self.build().summary()

@@ -1,0 +1,112 @@
+"""Tests for the template framework and the three workload template sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.real import build_real1_catalog, build_real2_catalog
+from repro.catalog.tpcds import build_tpcds_catalog
+from repro.catalog.tpch import build_tpch_catalog
+from repro.query.real_templates import real1_template_set, real2_template_set
+from repro.query.spec import QuerySpec, TableRef
+from repro.query.templates import QueryTemplate, TemplateSet
+from repro.query.tpcds_templates import tpcds_template_set
+from repro.query.tpch_templates import tpch_template_set
+
+
+def _trivial_builder(rng, catalog, name) -> QuerySpec:
+    return QuerySpec(name=name, tables=[TableRef("lineitem")])
+
+
+class TestTemplateFramework:
+    def test_empty_template_set_rejected(self):
+        with pytest.raises(ValueError):
+            TemplateSet("empty", [])
+
+    def test_duplicate_template_names_rejected(self):
+        tpl = QueryTemplate("a", _trivial_builder)
+        with pytest.raises(ValueError):
+            TemplateSet("dup", [tpl, QueryTemplate("a", _trivial_builder)])
+
+    def test_generation_is_deterministic_per_seed(self):
+        catalog = build_tpch_catalog(scale_factor=0.01, skew_z=1.0)
+        templates = tpch_template_set()
+        first = templates.generate(catalog, 12, seed=5)
+        second = templates.generate(catalog, 12, seed=5)
+        for a, b in zip(first, second):
+            assert a.name == b.name
+            assert a.template == b.template
+
+    def test_round_robin_covers_all_templates(self):
+        catalog = build_tpch_catalog(scale_factor=0.01, skew_z=1.0)
+        templates = tpch_template_set()
+        queries = templates.generate(catalog, len(templates), seed=0)
+        assert {q.template for q in queries} == {t.name for t in templates}
+
+    def test_template_lookup(self):
+        templates = tpch_template_set()
+        assert templates.template("tpch_q1").name == "tpch_q1"
+        with pytest.raises(KeyError):
+            templates.template("missing")
+
+    def test_negative_count_rejected(self):
+        catalog = build_tpch_catalog(scale_factor=0.01)
+        with pytest.raises(ValueError):
+            tpch_template_set().generate(catalog, -1)
+
+
+@pytest.mark.parametrize(
+    "template_set_factory, catalog_factory",
+    [
+        (tpch_template_set, lambda: build_tpch_catalog(scale_factor=0.02, skew_z=1.5)),
+        (tpcds_template_set, lambda: build_tpcds_catalog(scale_factor=0.2)),
+        (real1_template_set, build_real1_catalog),
+        (real2_template_set, build_real2_catalog),
+    ],
+)
+def test_every_template_produces_valid_specs(template_set_factory, catalog_factory):
+    """Every template in every workload builds a spec that passes validation
+    and references only existing tables/columns."""
+    templates = template_set_factory()
+    catalog = catalog_factory()
+    rng = np.random.default_rng(3)
+    for template in templates:
+        spec = template.instantiate(rng, catalog, sequence=0)
+        spec.validate()
+        for ref in spec.tables:
+            table = catalog.table(ref.table)
+            for column in ref.projected_columns or []:
+                assert table.has_column(column), f"{template.name}: {ref.table}.{column}"
+            for predicate in ref.predicates:
+                assert predicate.column.table == ref.table
+                assert table.has_column(predicate.column.column)
+        for edge in spec.joins:
+            left_ref = spec.table_ref(edge.left)
+            right_ref = spec.table_ref(edge.right)
+            assert catalog.table(left_ref.table).has_column(edge.left_column)
+            assert catalog.table(right_ref.table).has_column(edge.right_column)
+
+
+def test_real2_queries_have_deep_join_graphs():
+    """Real-2 queries should involve roughly a dozen tables (paper: ~12 joins)."""
+    templates = real2_template_set()
+    catalog = build_real2_catalog()
+    rng = np.random.default_rng(0)
+    join_counts = [len(t.instantiate(rng, catalog, 0).joins) for t in templates]
+    assert max(join_counts) >= 10
+    assert sum(join_counts) / len(join_counts) >= 5
+
+
+def test_parameter_variation_changes_selectivities():
+    """Different instantiations of one template draw different parameters."""
+    catalog = build_tpch_catalog(scale_factor=0.02, skew_z=1.0)
+    templates = tpch_template_set()
+    q6 = templates.template("tpch_q6")
+    rng = np.random.default_rng(1)
+    fractions = set()
+    for i in range(5):
+        spec = q6.instantiate(rng, catalog, i)
+        for predicate in spec.tables[0].predicates:
+            fractions.add(round(predicate.domain_fraction, 6))
+    assert len(fractions) > 3

@@ -1,0 +1,101 @@
+"""Tests for the REGTREE stand-in (transform regression) and the error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import ErrorSummary, l1_relative_error, ratio_error, ratio_error_buckets
+from repro.ml.regression_tree import RegressionTree
+from repro.ml.transform_regression import TransformConfig, TransformRegressor
+
+
+class TestTransformRegressor:
+    def test_fits_piecewise_linear_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 100, size=(500, 2))
+        y = np.where(x[:, 0] > 50, 5.0 * x[:, 0], 2.0 * x[:, 0]) + rng.normal(0, 1.0, 500)
+        model = TransformRegressor(TransformConfig(n_iterations=40)).fit(x[:400], y[:400])
+        pred = model.predict(x[400:])
+        relative = np.abs(pred - y[400:]) / np.maximum(np.abs(y[400:]), 1e-9)
+        assert float(np.median(relative)) < 0.15
+
+    def test_extrapolates_better_than_a_plain_tree(self):
+        """Leaf-level linear models extrapolate within their region; a plain
+        tree cannot exceed its training maximum at all."""
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 100, size=(400, 1))
+        y = 4.0 * x[:, 0]
+        transform = TransformRegressor(TransformConfig(n_iterations=30)).fit(x, y)
+        tree = RegressionTree(max_leaves=10).fit(x, y)
+        probe = np.array([[200.0]])
+        truth = 800.0
+        assert abs(transform.predict(probe)[0] - truth) < abs(tree.predict(probe)[0] - truth)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransformRegressor().fit(np.empty((0, 1)), np.empty(0))
+        with pytest.raises(RuntimeError):
+            TransformRegressor().predict(np.zeros((1, 1)))
+
+    def test_constant_target(self):
+        x = np.random.default_rng(2).uniform(size=(40, 2))
+        model = TransformRegressor().fit(x, np.full(40, 9.0))
+        assert model.predict(x)[0] == pytest.approx(9.0)
+
+
+class TestMetrics:
+    def test_l1_error_perfect_predictions(self):
+        values = np.array([1.0, 5.0, 10.0])
+        assert l1_relative_error(values, values) == 0.0
+
+    def test_l1_error_normalises_by_estimate(self):
+        estimates = np.array([10.0])
+        actuals = np.array([20.0])
+        assert l1_relative_error(estimates, actuals) == pytest.approx(1.0)
+
+    def test_ratio_error_symmetric(self):
+        assert ratio_error(np.array([10.0]), np.array([20.0]))[0] == pytest.approx(2.0)
+        assert ratio_error(np.array([20.0]), np.array([10.0]))[0] == pytest.approx(2.0)
+
+    def test_buckets_sum_to_one(self):
+        rng = np.random.default_rng(3)
+        estimates = rng.uniform(1, 100, 50)
+        actuals = rng.uniform(1, 100, 50)
+        buckets = ratio_error_buckets(estimates, actuals)
+        assert sum(buckets) == pytest.approx(1.0)
+
+    def test_bucket_assignment(self):
+        estimates = np.array([10.0, 10.0, 10.0])
+        actuals = np.array([10.0, 17.0, 30.0])  # ratios 1.0, 1.7, 3.0
+        small, medium, large = ratio_error_buckets(estimates, actuals)
+        assert small == pytest.approx(1 / 3)
+        assert medium == pytest.approx(1 / 3)
+        assert large == pytest.approx(1 / 3)
+
+    def test_empty_inputs(self):
+        assert l1_relative_error(np.array([]), np.array([])) == 0.0
+        assert ratio_error_buckets(np.array([]), np.array([])) == (1.0, 0.0, 0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            l1_relative_error(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            ratio_error(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_error_summary_row(self):
+        summary = ErrorSummary.from_predictions(np.array([1.0, 2.0]), np.array([1.0, 5.0]))
+        row = summary.as_row()
+        assert set(row) == {"L1", "R<=1.5", "R in [1.5,2]", "R>2"}
+        assert summary.n_queries == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    estimate=st.floats(min_value=1e-3, max_value=1e9, allow_nan=False),
+    actual=st.floats(min_value=1e-3, max_value=1e9, allow_nan=False),
+)
+def test_ratio_error_is_at_least_one(estimate, actual):
+    assert ratio_error(np.array([estimate]), np.array([actual]))[0] >= 1.0 - 1e-12

@@ -1,0 +1,92 @@
+"""Tests for workload running, datasets and splits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.features.definitions import FeatureMode, OperatorFamily
+from repro.workloads.datasets import build_training_data, filter_by_template, split_workload
+from repro.workloads.runner import ObservedWorkload
+
+
+class TestWorkloadRunner:
+    def test_workload_has_requested_queries(self, small_workload):
+        assert len(small_workload) == 72
+
+    def test_every_query_has_operator_observations(self, small_workload):
+        for query in small_workload:
+            assert len(query.operators) == query.plan.operator_count()
+            assert query.total_cpu_us > 0.0
+            assert query.total_logical_io > 0.0
+            assert query.optimizer_cost > 0.0
+
+    def test_query_totals_match_operator_sums(self, small_workload):
+        for query in small_workload.queries[:10]:
+            assert query.total_cpu_us == pytest.approx(
+                sum(op.actual_cpu_us for op in query.operators)
+            )
+
+    def test_both_feature_modes_recorded(self, small_workload):
+        op = small_workload.queries[0].operators[0]
+        assert op.features(FeatureMode.EXACT) is op.exact_features
+        assert op.features(FeatureMode.ESTIMATED) is op.estimated_features
+
+    def test_actual_resource_accessor(self, small_workload):
+        op = small_workload.queries[0].operators[0]
+        assert op.actual("cpu") == op.actual_cpu_us
+        assert op.actual("io") == op.actual_logical_io
+        with pytest.raises(ValueError):
+            op.actual("memory")
+
+    def test_templates_enumeration(self, small_workload):
+        templates = small_workload.templates()
+        assert "tpch_q1" in templates
+        assert len(templates) == 18
+
+    def test_run_single_query(self, workload_runner, tpch_queries):
+        observed = workload_runner.run_query(tpch_queries[0])
+        assert observed.query is tpch_queries[0]
+        assert observed.total_cpu_us > 0
+
+
+class TestSplitsAndDatasets:
+    def test_split_is_disjoint_and_complete(self, small_workload):
+        train, test = split_workload(small_workload, 0.8, seed=1)
+        train_names = {q.query.name for q in train}
+        test_names = {q.query.name for q in test}
+        assert not (train_names & test_names)
+        assert len(train) + len(test) == len(small_workload)
+
+    def test_split_fraction_respected(self, small_workload):
+        train, test = split_workload(small_workload, 0.75, seed=2)
+        assert len(train) == pytest.approx(0.75 * len(small_workload), abs=1)
+
+    def test_split_deterministic_per_seed(self, small_workload):
+        first = split_workload(small_workload, 0.8, seed=3)[0]
+        second = split_workload(small_workload, 0.8, seed=3)[0]
+        assert [q.query.name for q in first] == [q.query.name for q in second]
+
+    def test_invalid_fraction_rejected(self, small_workload):
+        with pytest.raises(ValueError):
+            split_workload(small_workload, 1.5)
+
+    def test_training_data_grouped_by_family(self, workload_split):
+        train, _ = workload_split
+        data = build_training_data(train, FeatureMode.EXACT)
+        assert OperatorFamily.SCAN in data
+        total_rows = sum(d.n_rows for d in data.values())
+        assert total_rows == sum(len(q.operators) for q in train)
+        scan_data = data[OperatorFamily.SCAN]
+        assert len(scan_data.target_array("cpu")) == scan_data.n_rows
+        assert len(scan_data.target_array("io")) == scan_data.n_rows
+
+    def test_filter_by_template(self, small_workload):
+        q1_only = filter_by_template(small_workload, ["tpch_q1"])
+        assert q1_only
+        assert all(q.template == "tpch_q1" for q in q1_only)
+
+    def test_extend_merges_workloads(self, small_workload):
+        merged = ObservedWorkload(name="merged", catalog=small_workload.catalog)
+        merged.extend(small_workload)
+        assert len(merged) == len(small_workload)
+        assert len(merged.operators()) == len(small_workload.operators())
