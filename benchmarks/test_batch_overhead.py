@@ -1,0 +1,65 @@
+"""Benchmark: batched workload estimation vs the per-operator scalar loop.
+
+The batched :meth:`~repro.core.estimator.ResourceEstimator.estimate_workload`
+path groups operator rows by (family, resource) into contiguous matrices and
+runs one vectorised model-selection + MART evaluation per group; the scalar
+path pays one Python-side selection and tree walk per operator.  On a
+500-query workload the batched path must be at least an order of magnitude
+faster — this is what makes the paper's "prediction overhead is negligible"
+claim (Section 7.3) hold at production workload scale.
+"""
+
+from __future__ import annotations
+
+from repro.core.trainer import TrainerConfig
+from repro.experiments.overhead import measure_batch_speedup
+from repro.experiments.registry import run_experiment
+from repro.experiments.reporting import ResultTable
+from repro.ml.mart import MARTConfig
+
+#: A reduced boosting budget keeps the *scalar* side of the comparison from
+#: dominating benchmark wall-clock; the speedup ratio is what is measured.
+_BENCH_TRAINER = TrainerConfig(
+    mart=MARTConfig(n_iterations=40, max_leaves=8, learning_rate=0.15, subsample=0.9)
+)
+
+
+def test_batch_overhead_experiment(benchmark, experiment_config, printer):
+    """The registered batch_overhead experiment (profile-sized workload)."""
+    table = benchmark.pedantic(
+        run_experiment, args=("batch_overhead", experiment_config), iterations=1, rounds=1
+    )
+    printer(table)
+    values = {row["Quantity"]: row["Value"] for row in table.rows}
+    assert float(values["Speedup (x)"]) > 1.0
+    # Scalar and batched paths share the same family-batch internals, so they
+    # must agree to float tolerance.
+    assert float(values["Max batch/scalar deviation"]) < 1e-9
+
+
+def test_batch_speedup_at_least_10x_on_500_queries(benchmark, experiment_config, printer):
+    """>=10x workload-estimation throughput on a >=500-query workload."""
+    measured = benchmark.pedantic(
+        measure_batch_speedup,
+        kwargs={
+            "config": experiment_config,
+            "n_queries": max(500, experiment_config.batch_overhead_queries),
+            "trainer_config": _BENCH_TRAINER,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    table = ResultTable(
+        experiment_id="Batch speedup 500q",
+        title="estimate_workload vs scalar loop on a 500+ query workload",
+        columns=["Quantity", "Value"],
+    )
+    for key, value in measured.items():
+        table.add_row(Quantity=key, Value=round(float(value), 4))
+    printer(table)
+
+    assert measured["n_queries"] >= 500
+    assert measured["max_rel_deviation"] < 1e-9
+    assert measured["speedup"] >= 10.0, (
+        f"batched estimation only {measured['speedup']:.1f}x faster than the scalar loop"
+    )

@@ -128,15 +128,40 @@ class PerOperatorBaseline(BaselineEstimator):
         return names, matrix
 
     # -- prediction ----------------------------------------------------------------------------------
+    def predict_operators(self, operators: list[ObservedOperator]) -> np.ndarray:
+        """Batched per-operator estimates: one regressor call per family."""
+        estimates = np.zeros(len(operators), dtype=np.float64)
+        grouped: dict[OperatorFamily, list[int]] = {}
+        for index, op in enumerate(operators):
+            grouped.setdefault(op.family, []).append(index)
+        for family, indices in grouped.items():
+            model = self.models_.get(family)
+            if model is None:
+                estimates[indices] = [
+                    self.fallback_.predict(operators[i].features(self.mode)) for i in indices
+                ]
+                continue
+            names = self.feature_names_[family]
+            matrix = np.array(
+                [[operators[i].features(self.mode).get(n, 0.0) for n in names] for i in indices],
+                dtype=np.float64,
+            )
+            estimates[indices] = np.maximum(
+                np.asarray(model.predict(matrix), dtype=np.float64), 0.0
+            )
+        return estimates
+
     def predict_operator(self, op: ObservedOperator) -> float:
-        features = op.features(self.mode)
-        model = self.models_.get(op.family)
-        if model is None:
-            return self.fallback_.predict(features)
-        names = self.feature_names_[op.family]
-        vector = np.array([features.get(n, 0.0) for n in names], dtype=np.float64)
-        estimate = float(np.asarray(model.predict(vector.reshape(1, -1)))[0])
-        return max(estimate, 0.0)
+        return float(self.predict_operators([op])[0])
 
     def predict_query(self, query: ObservedQuery) -> float:
-        return float(sum(self.predict_operator(op) for op in query.operators))
+        return float(self.predict_operators(query.operators).sum())
+
+    def predict_queries(self, queries: list[ObservedQuery]) -> np.ndarray:
+        operators = [op for query in queries for op in query.operators]
+        owners = np.repeat(
+            np.arange(len(queries), dtype=np.int64),
+            [len(query.operators) for query in queries],
+        )
+        per_operator = self.predict_operators(operators)
+        return np.bincount(owners, weights=per_operator, minlength=len(queries))

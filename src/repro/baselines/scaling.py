@@ -3,17 +3,21 @@
 This is a thin adapter over :class:`repro.core.estimator.ResourceEstimator`
 so that the experiment harness can fit and evaluate the paper's technique
 exactly like every competitor (same training queries, same feature mode,
-same query-level error metrics).
+same query-level error metrics).  Query-level prediction goes through the
+estimator's batched per-family path: one matrix per operator family across
+the whole query list, not one model call per operator.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.baselines.base import BaselineEstimator
 from repro.core.estimator import ResourceEstimator
 from repro.core.trainer import TrainerConfig
 from repro.features.definitions import FeatureMode
 from repro.ml.mart import MARTConfig
-from repro.workloads.datasets import build_training_data
+from repro.workloads.datasets import build_training_data, group_operator_features
 from repro.workloads.runner import ObservedQuery
 
 __all__ = ["ScalingTechnique"]
@@ -53,15 +57,20 @@ class ScalingTechnique(BaselineEstimator):
         )
         return self
 
+    def predict_queries(self, queries: list[ObservedQuery]) -> np.ndarray:
+        """Batched query-level estimates: one model-set pass per family."""
+        if self.estimator_ is None:
+            raise RuntimeError("ScalingTechnique has not been fitted")
+        totals = np.zeros(len(queries), dtype=np.float64)
+        for family, (rows, owners) in group_operator_features(queries, self.mode).items():
+            predictions = self.estimator_.estimate_feature_rows(family, rows, self.resource)
+            totals += np.bincount(owners, weights=predictions, minlength=len(queries))
+        return totals
+
     def predict_query(self, query: ObservedQuery) -> float:
         if self.estimator_ is None:
             raise RuntimeError("ScalingTechnique has not been fitted")
-        total = 0.0
-        for op in query.operators:
-            total += self.estimator_._estimate_features(  # noqa: SLF001 - internal reuse
-                op.family, op.features(self.mode), self.resource
-            )
-        return float(total)
+        return float(self.predict_queries([query])[0])
 
     @property
     def estimator(self) -> ResourceEstimator:

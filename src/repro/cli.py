@@ -5,11 +5,17 @@ Usage (module form, no installation entry point required)::
     python -m repro.cli list
     python -m repro.cli run table_4 [--profile fast|paper] [--output results/]
     python -m repro.cli run all --output results/
+    python -m repro.cli estimate [--queries N] [--resource cpu|io] [--profile ...]
 
 ``run`` executes one registered experiment (or ``all`` of them) and prints
 the regenerated table/figure; with ``--output`` the rendered results are
 also written to one text file per experiment, mirroring what the benchmark
 suite stores under ``benchmarks/results/``.
+
+``estimate`` exercises the production serving path: it trains a SCALING
+estimator on the profile's TPC-H workload, plans a batch of fresh queries
+and estimates all of them with one ``estimate_workload`` call, reporting
+per-query estimates and end-to-end throughput.
 """
 
 from __future__ import annotations
@@ -19,8 +25,16 @@ import sys
 import time
 from pathlib import Path
 
+from repro.catalog.statistics import StatisticsCatalog
+from repro.core.estimator import ResourceEstimator
+from repro.core.trainer import TrainerConfig
+from repro.experiments import config as cfg
 from repro.experiments.config import get_config
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.features.definitions import FeatureMode
+from repro.optimizer.planner import Planner
+from repro.query.tpch_templates import tpch_template_set
+from repro.workloads.datasets import build_training_data, split_workload
 
 __all__ = ["main", "build_parser"]
 
@@ -52,6 +66,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write rendered results into (one file per experiment)",
     )
+
+    estimate_parser = subparsers.add_parser(
+        "estimate", help="batch-estimate a freshly planned TPC-H workload"
+    )
+    estimate_parser.add_argument(
+        "--queries",
+        type=int,
+        default=100,
+        help="number of queries to plan and estimate (default: 100)",
+    )
+    estimate_parser.add_argument(
+        "--resource",
+        choices=("cpu", "io", "both"),
+        default="both",
+        help="resource(s) to estimate (default: both)",
+    )
+    estimate_parser.add_argument(
+        "--profile",
+        choices=("fast", "paper"),
+        default=None,
+        help="experiment profile (default: REPRO_PROFILE or 'fast')",
+    )
+    estimate_parser.add_argument(
+        "--seed",
+        type=int,
+        default=23,
+        help="random seed for query generation (default: 23)",
+    )
+    estimate_parser.add_argument(
+        "--show",
+        type=int,
+        default=10,
+        help="number of per-query estimates to print (default: 10)",
+    )
     return parser
 
 
@@ -66,6 +114,51 @@ def _run_one(experiment_id: str, config, output_dir: Path | None) -> str:
     return f"{text}\n[{experiment_id} completed in {elapsed:.1f}s]"
 
 
+def _run_estimate(args: argparse.Namespace) -> int:
+    """Train once, then batch-estimate a fresh workload via estimate_workload."""
+    config = get_config(args.profile)
+    resources = ("cpu", "io") if args.resource == "both" else (args.resource,)
+
+    workload = cfg.tpch_workload(config)
+    train, _ = split_workload(workload, config.train_fraction, seed=config.seed)
+    training_data = build_training_data(train, FeatureMode.EXACT)
+    estimator = ResourceEstimator.train(
+        training_data,
+        FeatureMode.EXACT,
+        resources=resources,
+        config=TrainerConfig(mart=config.mart),
+    )
+
+    planner = Planner(workload.catalog, StatisticsCatalog(workload.catalog))
+    queries = tpch_template_set().generate(workload.catalog, args.queries, seed=args.seed)
+    plans = [planner.plan(query) for query in queries]
+
+    started = time.perf_counter()
+    estimate = estimator.estimate_workload(plans, resources)
+    elapsed = time.perf_counter() - started
+    n_operators = sum(plan.operator_count() for plan in plans)
+
+    unit = {"cpu": "us", "io": "logical reads"}
+    for index in range(min(args.show, estimate.n_plans)):
+        parts = ", ".join(
+            f"{resource}={estimate.query(index, resource):,.0f} {unit[resource]}"
+            for resource in resources
+        )
+        print(f"{plans[index].query.name}: {parts}")
+    if estimate.n_plans > args.show:
+        print(f"... and {estimate.n_plans - args.show} more queries")
+    print()
+    for resource in resources:
+        total = float(estimate.query_totals(resource).sum())
+        print(f"workload total ({resource}): {total:,.0f} {unit[resource]}")
+    print(
+        f"estimated {estimate.n_plans} queries / {n_operators} operators "
+        f"x {len(resources)} resource(s) in {elapsed:.3f}s "
+        f"({estimate.n_plans / max(elapsed, 1e-12):,.0f} queries/s)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -75,6 +168,9 @@ def main(argv: list[str] | None = None) -> int:
         for experiment_id in sorted(EXPERIMENTS):
             print(experiment_id)
         return 0
+
+    if args.command == "estimate":
+        return _run_estimate(args)
 
     config = get_config(args.profile)
     if args.experiment == "all":

@@ -19,8 +19,8 @@ asymptotic *scaling functions* (robust out-of-distribution):
 """
 
 from repro.core.combined_model import CombinedModel
-from repro.core.estimator import ResourceEstimator
-from repro.core.model_selection import ModelSelector
+from repro.core.estimator import ResourceEstimator, WorkloadEstimate
+from repro.core.model_selection import BatchSelection, ModelSelector
 from repro.core.scaling import (
     SCALING_FUNCTIONS,
     ScalingFunction,
@@ -33,6 +33,8 @@ from repro.core.trainer import FamilyTrainingData, OperatorModelSet, ScalingMode
 __all__ = [
     "CombinedModel",
     "ResourceEstimator",
+    "WorkloadEstimate",
+    "BatchSelection",
     "ModelSelector",
     "SCALING_FUNCTIONS",
     "ScalingFunction",

@@ -14,15 +14,22 @@ Selection rule:
    is smallest;
 3. break ties by (a) preferring fewer scaling features and (b) comparing the
    second-largest out_ratio, third-largest, and so on.
+
+The selector is vectorised: :meth:`ModelSelector.select_batch` classifies all
+rows of a feature matrix at once by building one sort key per (row, model)
+and reducing lexicographically across models, and the scalar
+:meth:`ModelSelector.select` is a one-row wrapper over it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.combined_model import CombinedModel
 
-__all__ = ["ModelSelector", "SelectionDecision"]
+__all__ = ["ModelSelector", "SelectionDecision", "BatchSelection"]
 
 
 @dataclass(frozen=True)
@@ -34,8 +41,31 @@ class SelectionDecision:
     used_default: bool
 
 
+@dataclass(frozen=True)
+class BatchSelection:
+    """Model choices for every row of a feature matrix."""
+
+    #: Candidate models in selection order (``models`` plus the default).
+    candidates: list[CombinedModel]
+    #: Index into ``candidates`` chosen for each row.
+    indices: np.ndarray
+    #: Maximum out_ratio of the chosen model for each row.
+    max_out_ratios: np.ndarray
+    #: Whether each row fell back to the default model.
+    used_default: np.ndarray
+
+    def model_for(self, row: int) -> CombinedModel:
+        return self.candidates[int(self.indices[row])]
+
+
 class ModelSelector:
     """Implements the out_ratio selection heuristic."""
+
+    #: Length of the out_ratio tail used for tie-breaking (``profile[1:8]``).
+    _PROFILE_TAIL = 7
+    #: Pad value for missing tail entries; any real out_ratio (>= 0) beats it,
+    #: matching Python's shorter-tuple-compares-less semantics.
+    _PAD = -1.0
 
     def select(
         self,
@@ -44,31 +74,85 @@ class ModelSelector:
         feature_values: dict[str, float],
     ) -> SelectionDecision:
         """Choose the model to use for one operator instance."""
-        default_profile = default_model.out_ratio_profile(feature_values)
-        if not default_profile or default_profile[0] <= 0.0:
-            return SelectionDecision(
-                model=default_model, max_out_ratio=0.0, used_default=True
-            )
+        batch = self.select_batch(
+            default_model, models, default_model.feature_matrix([feature_values])
+        )
+        return SelectionDecision(
+            model=batch.model_for(0),
+            max_out_ratio=float(batch.max_out_ratios[0]),
+            used_default=bool(batch.used_default[0]),
+        )
 
+    def select_batch(
+        self,
+        default_model: CombinedModel,
+        models: list[CombinedModel],
+        matrix: np.ndarray,
+    ) -> BatchSelection:
+        """Choose a model for every row of a raw feature matrix.
+
+        All candidates must share ``default_model.feature_names`` (they do by
+        construction: the trainer fits every model of a family over the same
+        canonical feature tuple), so one matrix serves every model.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        n = matrix.shape[0]
         candidates = list(models)
         if default_model not in candidates:
             candidates.append(default_model)
+        default_index = candidates.index(default_model)
 
-        best_model: CombinedModel | None = None
-        best_key: tuple | None = None
-        for model in candidates:
-            profile = model.out_ratio_profile(feature_values)
-            max_ratio = profile[0] if profile else 0.0
-            # Sort key implements the rule + tie-breaks: smaller maximum
-            # out_ratio first, then fewer scaling features, then the rest of
-            # the (descending) out_ratio profile lexicographically.
-            key = (max_ratio, model.n_scaling_features, tuple(profile[1:8]))
-            if best_key is None or key < best_key:
-                best_key = key
-                best_model = model
-        assert best_model is not None
-        return SelectionDecision(
-            model=best_model,
-            max_out_ratio=float(best_key[0]) if best_key else 0.0,
-            used_default=best_model is default_model,
+        indices = np.full(n, default_index, dtype=np.int64)
+        in_range = np.ones(n, dtype=bool)
+        best_keys: np.ndarray | None = None
+        for position, model in enumerate(candidates):
+            keys = self._selection_keys(model, matrix)
+            if position == default_index:
+                # Rule-1 test, taken before ``keys`` can be mutated below (a
+                # key of 0 means every feature was covered during training).
+                in_range = keys[:, 0] <= 0.0
+            if best_keys is None:
+                best_keys = keys
+                indices[:] = position
+            else:
+                better = self._lexicographically_less(keys, best_keys)
+                indices[better] = position
+                best_keys[better] = keys[better]
+        assert best_keys is not None
+        max_ratios = best_keys[:, 0].copy()
+
+        # Rule 1: rows the default model covers entirely in-range use it.
+        indices[in_range] = default_index
+        max_ratios[in_range] = 0.0
+        return BatchSelection(
+            candidates=candidates,
+            indices=indices,
+            max_out_ratios=max_ratios,
+            used_default=in_range | (indices == default_index),
         )
+
+    def _selection_keys(self, model: CombinedModel, matrix: np.ndarray) -> np.ndarray:
+        """Per-row sort key: (max out_ratio, #scaling features, out_ratio tail)."""
+        profiles = model.out_ratio_profiles(matrix)
+        keys = np.full(
+            (profiles.shape[0], 2 + self._PROFILE_TAIL), self._PAD, dtype=np.float64
+        )
+        keys[:, 0] = profiles[:, 0] if profiles.shape[1] else 0.0
+        keys[:, 1] = float(model.n_scaling_features)
+        tail = profiles[:, 1 : 1 + self._PROFILE_TAIL]
+        keys[:, 2 : 2 + tail.shape[1]] = tail
+        return keys
+
+    @staticmethod
+    def _lexicographically_less(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Row-wise ``a < b`` under lexicographic comparison of key columns."""
+        less = np.zeros(a.shape[0], dtype=bool)
+        decided = np.zeros(a.shape[0], dtype=bool)
+        for column in range(a.shape[1]):
+            smaller = a[:, column] < b[:, column]
+            larger = a[:, column] > b[:, column]
+            less |= smaller & ~decided
+            decided |= smaller | larger
+            if decided.all():
+                break
+        return less

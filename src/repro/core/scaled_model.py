@@ -11,8 +11,11 @@ A *scaled model* differs from the default model in three ways:
    scaled twice.
 
 This module implements those transformations as pure functions over feature
-dictionaries so that :class:`~repro.core.combined_model.CombinedModel` can
-apply exactly the same code path during training and prediction.
+dictionaries.  They are the *reference* scalar implementation: the production
+path in :class:`~repro.core.combined_model.CombinedModel` applies the same
+rules vectorised over matrices (``transform_matrix`` / ``_step_factors``),
+and the batch-estimation test suite pins the two implementations against
+each other.
 """
 
 from __future__ import annotations
@@ -24,10 +27,13 @@ import numpy as np
 from repro.core.scaling import ScalingFunction
 from repro.features.dependencies import dependent_features
 
-__all__ = ["ScalingStep", "transform_feature_dict", "transform_targets"]
+__all__ = ["MIN_DIVISOR", "ScalingStep", "transform_feature_dict", "transform_targets"]
 
-#: Guard against division by zero when normalising dependent features.
-_MIN_DIVISOR = 1e-9
+#: Guard against division by zero when normalising dependent features.  The
+#: batched matrix transform in :mod:`repro.core.combined_model` applies the
+#: same floor so scalar and vectorised paths stay numerically identical.
+MIN_DIVISOR = 1e-9
+_MIN_DIVISOR = MIN_DIVISOR
 
 
 @dataclass(frozen=True)

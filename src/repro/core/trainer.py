@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.combined_model import CombinedModel
-from repro.core.model_selection import ModelSelector, SelectionDecision
+from repro.core.model_selection import BatchSelection, ModelSelector, SelectionDecision
 from repro.core.scaled_model import ScalingStep
 from repro.core.scaling import default_scaling_function
 from repro.features.definitions import (
@@ -84,13 +84,40 @@ class OperatorModelSet:
     default_model: CombinedModel
     selector: ModelSelector = field(default_factory=ModelSelector)
 
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """Canonical raw feature order shared by every model of the set."""
+        return self.default_model.feature_names
+
+    def feature_matrix(self, feature_rows: list[dict[str, float]]) -> np.ndarray:
+        """Dense ``(n, len(feature_names))`` matrix from feature dictionaries."""
+        return self.default_model.feature_matrix(feature_rows)
+
     def select(self, feature_values: dict[str, float]) -> SelectionDecision:
         return self.selector.select(self.default_model, self.models, feature_values)
 
+    def select_batch(self, matrix: np.ndarray) -> BatchSelection:
+        """Vectorised model selection for every row of a raw feature matrix."""
+        return self.selector.select_batch(self.default_model, self.models, matrix)
+
+    def predict_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Estimate the resource for every row of a raw feature matrix.
+
+        Selects a model per row in one vectorised pass, then runs one MART
+        evaluation per *chosen model* over the contiguous sub-matrix of the
+        rows it won, scattering results back into row order.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        selection = self.select_batch(matrix)
+        estimates = np.zeros(matrix.shape[0], dtype=np.float64)
+        for index in np.unique(selection.indices):
+            mask = selection.indices == index
+            estimates[mask] = selection.candidates[index].predict_batch(matrix[mask])
+        return estimates
+
     def predict(self, feature_values: dict[str, float]) -> float:
         """Estimate the resource for one operator instance."""
-        decision = self.select(feature_values)
-        return decision.model.predict(feature_values)
+        return float(self.predict_batch(self.feature_matrix([feature_values]))[0])
 
     @property
     def n_models(self) -> int:

@@ -51,6 +51,9 @@ class ExperimentConfig:
     training_time_sizes: tuple[int, ...] = (5_000, 10_000, 20_000, 40_000)
     #: Boosting iterations used in the Table 13 timing sweep.
     training_time_iterations: int = 100
+    #: Number of freshly planned queries used by the batched workload
+    #: estimation experiment (``batch_overhead``).
+    batch_overhead_queries: int = 150
 
     @property
     def is_paper_profile(self) -> bool:
@@ -68,6 +71,7 @@ _FAST = ExperimentConfig(
     mart=MARTConfig(n_iterations=150, max_leaves=10, learning_rate=0.12, subsample=0.8),
     training_time_sizes=(5_000, 10_000, 20_000, 40_000),
     training_time_iterations=100,
+    batch_overhead_queries=150,
 )
 
 _PAPER = ExperimentConfig(
@@ -88,6 +92,7 @@ _PAPER = ExperimentConfig(
     mart=MARTConfig(n_iterations=1000, max_leaves=10, learning_rate=0.1, subsample=0.7),
     training_time_sizes=(5_000, 10_000, 20_000, 40_000, 80_000, 160_000),
     training_time_iterations=1000,
+    batch_overhead_queries=1000,
 )
 
 

@@ -136,20 +136,16 @@ def _scan_extrapolation(
     # build single-operator views by filtering at prediction time instead.
     technique.fit(small, "cpu", FeatureMode.EXACT)
 
-    estimates: list[float] = []
-    actuals: list[float] = []
-    for op in _scan_operators(large):
-        if use_scaling:
-            est = technique.estimator._estimate_features(  # noqa: SLF001
-                op.family, op.exact_features, "cpu"
-            )
-        else:
-            est = technique.predict_operator(op)
-        estimates.append(est)
-        actuals.append(op.actual_cpu_us)
-        result.add_point("estimates", op.actual_cpu_us, est)
-    est_arr = np.array(estimates)
-    act_arr = np.array(actuals)
+    scan_ops = _scan_operators(large)
+    if use_scaling:
+        est_arr = technique.estimator.estimate_feature_rows(
+            OperatorFamily.SCAN, [op.exact_features for op in scan_ops], "cpu"
+        )
+    else:
+        est_arr = technique.predict_operators(scan_ops)
+    act_arr = np.array([op.actual_cpu_us for op in scan_ops])
+    for actual, est in zip(act_arr, est_arr):
+        result.add_point("estimates", float(actual), float(est))
     # The paper's figures show systematic underestimation for plain MART;
     # summarise it as the mean estimate/actual ratio over the largest scans.
     order = np.argsort(act_arr)
@@ -157,7 +153,7 @@ def _scan_extrapolation(
     result.summary = {
         "l1_error": l1_relative_error(est_arr, act_arr),
         "mean_ratio_on_largest_quartile": float(np.mean(est_arr[top] / np.maximum(act_arr[top], 1e-9))),
-        "n_operators": float(len(estimates)),
+        "n_operators": float(len(scan_ops)),
     }
     return result
 

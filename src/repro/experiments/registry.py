@@ -27,6 +27,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "table_12": tables_io.table_12,
     "table_13": overhead.table_13,
     "prediction_cost": overhead.prediction_cost,
+    "batch_overhead": overhead.batch_overhead,
     "model_memory": overhead.model_memory,
 }
 

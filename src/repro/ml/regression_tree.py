@@ -56,18 +56,23 @@ class TreeNode:
 
 @dataclass(order=True)
 class _SplitCandidate:
-    """A candidate leaf expansion kept in the best-first priority queue."""
+    """A candidate leaf expansion kept in the best-first priority queue.
+
+    Every field is required: a candidate only enters the queue once
+    ``_best_split`` has produced a complete partition, so it can never be
+    applied with missing row subsets.
+    """
 
     neg_gain: float
     tie_breaker: int
     node: TreeNode = field(compare=False)
     rows: np.ndarray = field(compare=False)
-    feature: int = field(compare=False, default=-1)
-    threshold: float = field(compare=False, default=0.0)
-    left_rows: np.ndarray = field(compare=False, default=None)
-    right_rows: np.ndarray = field(compare=False, default=None)
-    left_value: float = field(compare=False, default=0.0)
-    right_value: float = field(compare=False, default=0.0)
+    feature: int = field(compare=False)
+    threshold: float = field(compare=False)
+    left_rows: np.ndarray = field(compare=False)
+    right_rows: np.ndarray = field(compare=False)
+    left_value: float = field(compare=False)
+    right_value: float = field(compare=False)
 
 
 class RegressionTree:

@@ -2,12 +2,19 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.trainer import FamilyTrainingData
 from repro.data.rng import make_rng
 from repro.features.definitions import FeatureMode, OperatorFamily
 from repro.workloads.runner import ObservedQuery, ObservedWorkload
 
-__all__ = ["split_workload", "build_training_data", "filter_by_template"]
+__all__ = [
+    "split_workload",
+    "build_training_data",
+    "group_operator_features",
+    "filter_by_template",
+]
 
 
 def split_workload(
@@ -47,6 +54,29 @@ def build_training_data(
                 {"cpu": op.actual_cpu_us, "io": op.actual_logical_io},
             )
     return data
+
+
+def group_operator_features(
+    queries: list[ObservedQuery],
+    mode: FeatureMode = FeatureMode.EXACT,
+) -> dict[OperatorFamily, tuple[list[dict[str, float]], np.ndarray]]:
+    """Group the operators of observed queries by family for batch estimation.
+
+    Returns, per family, the feature dictionaries of its operator instances
+    (in workload order) plus the index of the query each instance belongs to,
+    so batched per-family predictions can be scattered back to per-query
+    totals with one ``np.bincount`` per family.
+    """
+    grouped: dict[OperatorFamily, tuple[list[dict[str, float]], list[int]]] = {}
+    for query_index, query in enumerate(queries):
+        for op in query.operators:
+            rows, owners = grouped.setdefault(op.family, ([], []))
+            rows.append(op.features(mode))
+            owners.append(query_index)
+    return {
+        family: (rows, np.asarray(owners, dtype=np.int64))
+        for family, (rows, owners) in grouped.items()
+    }
 
 
 def filter_by_template(

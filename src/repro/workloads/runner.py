@@ -98,6 +98,10 @@ class ObservedWorkload:
     def operators(self) -> list[ObservedOperator]:
         return [op for query in self.queries for op in query.operators]
 
+    def plans(self) -> list[QueryPlan]:
+        """All query plans in workload order (the batch-estimation input)."""
+        return [query.plan for query in self.queries]
+
 
 class WorkloadRunner:
     """Plans and "executes" query workloads against one catalog."""

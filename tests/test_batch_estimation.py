@@ -1,0 +1,307 @@
+"""Batch/scalar parity of the end-to-end estimation path, plus the fallback fix.
+
+The scalar estimation API is a one-row wrapper over the batched one, so these
+tests pin the remaining nontrivial batch machinery: the per-family grouping
+and scatter of ``estimate_workload``, the vectorised model selector, and the
+cross-query grouping of ``ScalingTechnique.predict_queries`` — across TPC-H
+and TPC-DS sample workloads and both resources.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ResourceEstimator
+from repro.core.combined_model import CombinedModel
+from repro.core.estimator import _FallbackModel
+from repro.core.model_selection import ModelSelector
+from repro.core.scaled_model import (
+    MIN_DIVISOR,
+    ScalingStep,
+    transform_feature_dict,
+    transform_targets,
+)
+from repro.core.scaling import SCALING_FUNCTIONS
+from repro.core.trainer import ScalingModelTrainer, TrainerConfig
+from repro.baselines import ScalingTechnique
+from repro.features.definitions import FeatureMode, OperatorFamily
+from repro.ml.mart import MARTConfig
+from repro.workloads.datasets import build_training_data, split_workload
+from repro.workloads.tpcds import build_tpcds_workload
+
+RESOURCES = ("cpu", "io")
+
+FEATURES = ("COUT", "SOUTAVG", "SOUTTOT", "CIN1", "SINAVG1", "SINTOT1",
+            "CIN2", "SINAVG2", "SINTOT2", "OUTPUTUSAGE", "CPREDICATES")
+
+
+def synthetic_rows(n: int = 300, seed: int = 0, max_rows: float = 10_000.0):
+    """Filter-like training rows: CPU = 0.05 * CIN1 * (1 + width/200)."""
+    rng = np.random.default_rng(seed)
+    rows, targets = [], []
+    for _ in range(n):
+        cin = float(rng.uniform(100, max_rows))
+        width = float(rng.uniform(10, 200))
+        cout = cin * float(rng.uniform(0.1, 0.9))
+        rows.append({
+            "COUT": cout, "SOUTAVG": width, "SOUTTOT": cout * width,
+            "CIN1": cin, "SINAVG1": width, "SINTOT1": cin * width,
+            "CIN2": 0.0, "SINAVG2": 0.0, "SINTOT2": 0.0,
+            "OUTPUTUSAGE": 3.0, "CPREDICATES": 1.0,
+        })
+        targets.append(0.05 * cin * (1.0 + width / 200.0))
+    return rows, np.array(targets)
+
+
+def tiny_mart() -> MARTConfig:
+    return MARTConfig(n_iterations=30, max_leaves=8, learning_rate=0.2, subsample=1.0)
+
+
+@pytest.fixture(scope="module")
+def tpcds_split():
+    workload = build_tpcds_workload(scale_factor=0.1, skew_z=0.8, n_queries=36, seed=13)
+    return split_workload(workload, train_fraction=0.75, seed=5)
+
+
+@pytest.fixture(scope="module")
+def tpcds_estimator(tpcds_split, tiny_trainer_config):
+    train, _ = tpcds_split
+    training_data = build_training_data(train, FeatureMode.EXACT)
+    return ResourceEstimator.train(
+        training_data, FeatureMode.EXACT, resources=RESOURCES, config=tiny_trainer_config
+    )
+
+
+def _assert_workload_matches_scalar(estimator, plans):
+    estimate = estimator.estimate_workload(plans, RESOURCES)
+    assert estimate.n_plans == len(plans)
+    for resource in RESOURCES:
+        totals = estimate.query_totals(resource)
+        assert totals.shape == (len(plans),)
+        for index, plan in enumerate(plans):
+            scalar_ops = estimator.estimate_operators(plan, resource)
+            assert estimate.operators(index, resource) == pytest.approx(scalar_ops, rel=1e-9)
+            assert estimate.pipelines(index, resource) == pytest.approx(
+                estimator.estimate_pipelines(plan, resource), rel=1e-9
+            )
+            assert estimate.query(index, resource) == pytest.approx(
+                estimator.estimate_plan(plan, resource), rel=1e-9
+            )
+            assert totals[index] == pytest.approx(estimate.query(index, resource), rel=1e-12)
+
+
+class TestEstimateWorkloadParity:
+    def test_tpch_batch_matches_scalar(self, trained_estimator, workload_split):
+        _, test = workload_split
+        _assert_workload_matches_scalar(trained_estimator, [q.plan for q in test])
+
+    def test_tpcds_batch_matches_scalar(self, tpcds_estimator, tpcds_split):
+        _, test = tpcds_split
+        _assert_workload_matches_scalar(tpcds_estimator, [q.plan for q in test])
+
+    def test_unknown_resource_rejected(self, trained_estimator, workload_split):
+        _, test = workload_split
+        with pytest.raises(ValueError):
+            trained_estimator.estimate_workload([test[0].plan], ("memory",))
+        estimate = trained_estimator.estimate_workload([test[0].plan], ("cpu",))
+        with pytest.raises(ValueError):
+            estimate.query_totals("io")
+
+    def test_empty_workload(self, trained_estimator):
+        estimate = trained_estimator.estimate_workload([])
+        assert estimate.n_plans == 0
+        assert estimate.query_totals("cpu").shape == (0,)
+
+
+class TestScalingTechniqueBatch:
+    def test_predict_queries_matches_per_query(self, workload_split, tiny_trainer_config):
+        train, test = workload_split
+        technique = ScalingTechnique(trainer_config=tiny_trainer_config)
+        technique.fit(train, "cpu", FeatureMode.EXACT)
+        batched = technique.predict_queries(test)
+        singles = np.array([technique.predict_query(query) for query in test])
+        assert batched == pytest.approx(singles, rel=1e-9)
+
+    def test_empty_query_list(self, workload_split, tiny_trainer_config):
+        train, _ = workload_split
+        technique = ScalingTechnique(trainer_config=tiny_trainer_config)
+        technique.fit(train, "cpu", FeatureMode.EXACT)
+        assert technique.predict_queries([]).shape == (0,)
+
+
+class TestCombinedModelBatch:
+    def _outlier_rows(self, n: int = 64):
+        """Training-range rows mixed with far-out-of-range outliers."""
+        rows, _ = synthetic_rows(n, seed=42)
+        for i, row in enumerate(rows):
+            if i % 3 == 0:
+                row["CIN1"] = 1_000_000.0 * (1 + i)
+                row["SINTOT1"] = row["CIN1"] * row["SINAVG1"]
+        return rows
+
+    def test_predict_batch_matches_scalar(self):
+        rows, targets = synthetic_rows(max_rows=5_000.0)
+        for steps in (
+            (),
+            (ScalingStep("CIN1", SCALING_FUNCTIONS["linear"]),),
+            (
+                ScalingStep("CIN1", SCALING_FUNCTIONS["linear"]),
+                ScalingStep("SINAVG1", SCALING_FUNCTIONS["linear"]),
+            ),
+        ):
+            model = CombinedModel(OperatorFamily.FILTER, "cpu", FEATURES, steps, tiny_mart())
+            model.fit(rows, targets)
+            probe = self._outlier_rows()
+            batched = model.predict_batch(model.feature_matrix(probe))
+            singles = np.array([model.predict(row) for row in probe])
+            assert batched == pytest.approx(singles, rel=1e-12)
+
+    def test_predict_batch_rejects_wrong_width(self):
+        rows, targets = synthetic_rows(50)
+        model = CombinedModel(OperatorFamily.FILTER, "cpu", FEATURES, (), tiny_mart())
+        model.fit(rows, targets)
+        with pytest.raises(ValueError):
+            model.predict_batch(np.zeros((3, len(FEATURES) + 1)))
+
+    def test_trained_model_set_batch_matches_scalar(self):
+        rows, targets = synthetic_rows(300, max_rows=5_000.0)
+        from repro.core.trainer import FamilyTrainingData
+
+        data = FamilyTrainingData(family=OperatorFamily.FILTER)
+        for row, target in zip(rows, targets):
+            data.add(row, {"cpu": float(target)})
+        trainer = ScalingModelTrainer(TrainerConfig(mart=tiny_mart(), max_pair_models=1))
+        model_set = trainer.train_family(data, "cpu")
+        assert model_set is not None
+
+        probe = self._outlier_rows()
+        matrix = model_set.feature_matrix(probe)
+        batched = model_set.predict_batch(matrix)
+        singles = np.array([model_set.predict(row) for row in probe])
+        assert batched == pytest.approx(singles, rel=1e-12)
+
+    def test_model_set_batch_routes_rows_to_different_models(self):
+        from repro.core.trainer import OperatorModelSet
+
+        rows, targets = synthetic_rows(max_rows=5_000.0)
+        plain = CombinedModel(OperatorFamily.FILTER, "cpu", FEATURES, (), tiny_mart())
+        plain.fit(rows, targets)
+        scaled = CombinedModel(
+            OperatorFamily.FILTER, "cpu", FEATURES,
+            (ScalingStep("CIN1", SCALING_FUNCTIONS["linear"]),), tiny_mart(),
+        )
+        scaled.fit(rows, targets)
+        model_set = OperatorModelSet(
+            family=OperatorFamily.FILTER, resource="cpu",
+            models=[plain, scaled], default_model=plain,
+        )
+        probe = self._outlier_rows()
+        matrix = model_set.feature_matrix(probe)
+        selection = model_set.select_batch(matrix)
+        # In-range rows keep the plain default; CIN1 outliers switch to the
+        # scaled model — the scatter path must handle both groups in one call.
+        assert len(np.unique(selection.indices)) == 2
+        batched = model_set.predict_batch(matrix)
+        singles = np.array([model_set.predict(row) for row in probe])
+        assert batched == pytest.approx(singles, rel=1e-12)
+
+    def test_transform_matrix_matches_reference_dict_transform(self):
+        """transform_matrix must agree with the scalar reference in scaled_model.
+
+        The dict functions are the Section 6.1 specification; the matrix path
+        is the production implementation — this pins them together so neither
+        can drift silently.
+        """
+        rows = self._outlier_rows(32)
+        targets = np.linspace(1.0, 500.0, len(rows))
+        for steps in (
+            (),
+            (ScalingStep("CIN1", SCALING_FUNCTIONS["linear"]),),
+            (ScalingStep("CIN1", SCALING_FUNCTIONS["nlogn"]),),
+            (
+                ScalingStep("CIN1", SCALING_FUNCTIONS["linear"]),
+                ScalingStep("SINAVG1", SCALING_FUNCTIONS["linear"]),
+            ),
+        ):
+            model = CombinedModel(OperatorFamily.FILTER, "cpu", FEATURES, steps, tiny_mart())
+            matrix = model.transform_matrix(model.feature_matrix(rows))
+            reference = np.array(
+                [
+                    [transform_feature_dict(row, steps).get(n, 0.0) for n in model.input_features_]
+                    for row in rows
+                ]
+            )
+            assert matrix == pytest.approx(reference, rel=1e-12)
+            scaled = model._step_factors(model.feature_matrix(rows), floor=MIN_DIVISOR)
+            assert targets / scaled == pytest.approx(
+                transform_targets(rows, targets, steps), rel=1e-12
+            )
+
+    def test_selector_batch_matches_scalar(self):
+        rows, targets = synthetic_rows(max_rows=5_000.0)
+        plain = CombinedModel(OperatorFamily.FILTER, "cpu", FEATURES, (), tiny_mart())
+        plain.fit(rows, targets)
+        scaled = CombinedModel(
+            OperatorFamily.FILTER, "cpu", FEATURES,
+            (ScalingStep("CIN1", SCALING_FUNCTIONS["linear"]),), tiny_mart(),
+        )
+        scaled.fit(rows, targets)
+        probe = self._outlier_rows()
+        selector = ModelSelector()
+        batch = selector.select_batch(plain, [plain, scaled], plain.feature_matrix(probe))
+        for i, row in enumerate(probe):
+            decision = selector.select(plain, [plain, scaled], row)
+            assert batch.model_for(i) is decision.model
+            assert batch.max_out_ratios[i] == pytest.approx(decision.max_out_ratio)
+            assert bool(batch.used_default[i]) == decision.used_default
+
+
+class TestFallbackModel:
+    """Regression tests for the fallback constant bug (estimator.py).
+
+    The seed computed ``constant = median(targets) * 0.0`` — a dead term that
+    was always 0.  The chosen fix drops the constant entirely: the fallback
+    predicts the median per-output-tuple rate times the instance's
+    cardinality, exactly as its docstring always claimed.
+    """
+
+    def test_no_constant_offset(self, trained_estimator):
+        fallback = trained_estimator.fallbacks["cpu"]
+        assert fallback.predict({"COUT": 0.0, "CIN1": 0.0}) == 0.0
+        assert not hasattr(fallback, "constant")
+
+    def test_prediction_is_per_tuple_rate_times_rows(self, trained_estimator):
+        fallback = trained_estimator.fallbacks["cpu"]
+        assert fallback.per_tuple > 0.0
+        assert fallback.predict({"COUT": 1_000.0}) == pytest.approx(
+            fallback.per_tuple * 1_000.0
+        )
+        # max(COUT, CIN1) drives the estimate.
+        assert fallback.predict({"COUT": 10.0, "CIN1": 5_000.0}) == pytest.approx(
+            fallback.per_tuple * 5_000.0
+        )
+
+    def test_batch_matches_scalar(self):
+        fallback = _FallbackModel(per_tuple=0.25)
+        cout = np.array([0.0, 10.0, 1_000.0])
+        cin1 = np.array([5.0, 0.0, 2_000.0])
+        batched = fallback.predict_batch(cout, cin1)
+        singles = [
+            fallback.predict({"COUT": c, "CIN1": i}) for c, i in zip(cout, cin1)
+        ]
+        assert batched == pytest.approx(singles)
+
+    def test_unseen_family_routed_through_fallback(self, trained_estimator):
+        families = trained_estimator.families("cpu")
+        unseen = next(f for f in OperatorFamily if f not in families)
+        estimates = trained_estimator.estimate_feature_rows(
+            unseen, [{"COUT": 100.0}, {"COUT": 200.0}], "cpu"
+        )
+        assert estimates[1] == pytest.approx(2 * estimates[0])
+
+
+def test_mart_config_used_for_batch_suite_is_small():
+    """Guard: the parity suite must stay fast (tiny boosting budgets only)."""
+    assert tiny_mart().n_iterations <= 50
+    assert MARTConfig().n_iterations >= 100

@@ -22,6 +22,20 @@ class TestParser:
         assert args.profile == "fast"
         assert args.output == tmp_path
 
+    def test_estimate_command_parses_with_options(self):
+        args = build_parser().parse_args(
+            ["estimate", "--queries", "250", "--resource", "io", "--seed", "3"]
+        )
+        assert args.command == "estimate"
+        assert args.queries == 250
+        assert args.resource == "io"
+        assert args.seed == 3
+
+    def test_estimate_defaults(self):
+        args = build_parser().parse_args(["estimate"])
+        assert args.queries == 100
+        assert args.resource == "both"
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

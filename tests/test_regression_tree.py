@@ -7,7 +7,19 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ml.regression_tree import RegressionTree
+from repro.ml.regression_tree import RegressionTree, TreeNode
+from repro.ml.regression_tree import _SplitCandidate
+
+
+def test_split_candidate_requires_row_partitions():
+    """A candidate can never be constructed without its left/right row sets."""
+    with pytest.raises(TypeError):
+        _SplitCandidate(  # type: ignore[call-arg]
+            neg_gain=-1.0,
+            tie_breaker=0,
+            node=TreeNode(value=0.0),
+            rows=np.arange(4),
+        )
 
 
 def step_data(n: int = 400, seed: int = 0):
