@@ -1,0 +1,108 @@
+"""Benchmark: cold-start training vs warm serving from a persisted artifact.
+
+The train-once / serve-many redesign claims that keeping a trained model
+amortises away almost all serving latency: loading an artifact and answering
+an ``estimate_workload`` call must be orders of magnitude cheaper than the
+retrain-every-time path the CLI used before.  This benchmark measures both
+paths on the profile's TPC-H workload and asserts (a) a large speedup and
+(b) bit-identical estimates — the warm path trades no accuracy whatsoever.
+
+Opt-in like the other reproductions: ``pytest benchmarks/test_serve_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.api.service import EstimationService
+from repro.catalog.statistics import StatisticsCatalog
+from repro.core.estimator import ResourceEstimator
+from repro.core.trainer import TrainerConfig
+from repro.experiments import config as cfg
+from repro.experiments.reporting import ResultTable
+from repro.features.definitions import FeatureMode
+from repro.ml.mart import MARTConfig
+from repro.optimizer.planner import Planner
+from repro.query.tpch_templates import tpch_template_set
+from repro.workloads.datasets import build_training_data, split_workload
+
+#: Same reduced boosting budget the batch-overhead benchmark uses, so the
+#: cold side measures the *workflow* cost rather than paper-scale boosting.
+_BENCH_TRAINER = TrainerConfig(
+    mart=MARTConfig(n_iterations=40, max_leaves=8, learning_rate=0.15, subsample=0.9)
+)
+
+_RESOURCES = ("cpu", "io")
+
+
+def _train(config) -> ResourceEstimator:
+    workload = cfg.tpch_workload(config)
+    train, _ = split_workload(workload, config.train_fraction, seed=config.seed)
+    training_data = build_training_data(train, FeatureMode.EXACT)
+    return ResourceEstimator.train(
+        training_data, FeatureMode.EXACT, resources=_RESOURCES, config=_BENCH_TRAINER
+    )
+
+
+def test_warm_serving_beats_cold_start(benchmark, experiment_config, printer, tmp_path):
+    workload = cfg.tpch_workload(experiment_config)
+    planner = Planner(workload.catalog, StatisticsCatalog(workload.catalog))
+    queries = tpch_template_set().generate(workload.catalog, 200, seed=29)
+    plans = [planner.plan(query) for query in queries]
+
+    # Cold start: train from scratch, then estimate (the pre-artifact path).
+    started = time.perf_counter()
+    estimator = _train(experiment_config)
+    cold_estimate = estimator.estimate_workload(plans, _RESOURCES)
+    cold_seconds = time.perf_counter() - started
+
+    artifact = tmp_path / "model.bin"
+    estimator.save(artifact)
+
+    # Warm serve: load the artifact once, then estimate.
+    def warm_serve():
+        service = EstimationService.from_artifact(artifact)
+        return service, service.estimate_workload(plans, _RESOURCES)
+
+    started = time.perf_counter()
+    service, warm_estimate = benchmark.pedantic(warm_serve, iterations=1, rounds=1)
+    warm_seconds = time.perf_counter() - started
+
+    # Re-serving from the resident session costs even less (features cached).
+    started = time.perf_counter()
+    resident_estimate = service.estimate_workload(plans, _RESOURCES)
+    resident_seconds = time.perf_counter() - started
+
+    table = ResultTable(
+        experiment_id="Serve overhead",
+        title="Cold-start training vs warm serving from a persisted artifact",
+        columns=["Quantity", "Value"],
+    )
+    table.add_row(Quantity="Workload size (queries)", Value=len(plans))
+    table.add_row(Quantity="Artifact size (KB)", Value=round(artifact.stat().st_size / 1024.0, 1))
+    table.add_row(Quantity="Cold start: train + estimate (s)", Value=round(cold_seconds, 3))
+    table.add_row(Quantity="Warm serve: load + estimate (s)", Value=round(warm_seconds, 3))
+    table.add_row(Quantity="Resident re-serve (s)", Value=round(resident_seconds, 4))
+    table.add_row(Quantity="Warm speedup (x)", Value=round(cold_seconds / max(warm_seconds, 1e-9), 1))
+    table.add_row(Quantity="Feature-cache hit rate", Value=round(service.stats.hit_rate, 3))
+    table.notes = (
+        "Persistence removes training from the serving path entirely; the warm "
+        "numbers bound what a resident estimation service pays per workload."
+    )
+    printer(table)
+
+    # The artifact path must trade zero accuracy: bit-identical estimates.
+    for resource in _RESOURCES:
+        assert np.array_equal(
+            cold_estimate.query_totals(resource), warm_estimate.query_totals(resource)
+        )
+        assert np.array_equal(
+            cold_estimate.query_totals(resource), resident_estimate.query_totals(resource)
+        )
+    # Loading a model must be far cheaper than training one.
+    assert warm_seconds * 5 < cold_seconds, (
+        f"warm serving ({warm_seconds:.2f}s) is not clearly cheaper than "
+        f"cold start ({cold_seconds:.2f}s)"
+    )

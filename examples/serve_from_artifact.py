@@ -1,0 +1,93 @@
+"""Train-once / serve-many: persist a trained estimator and serve from it.
+
+The paper's Section 7.3 deployment argument is that trained models are tiny
+(kilobytes) and prediction is negligible next to query optimisation — which
+only pays off if the trained model can be *kept*.  This example walks the
+full workflow:
+
+1. train a SCALING estimator through the unified Estimator protocol;
+2. save it as a versioned binary artifact and inspect its size;
+3. load it back in a fresh :class:`~repro.api.EstimationService` session
+   and serve several workloads from it, without retraining;
+4. verify the served estimates are bit-identical to the in-memory model's.
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_from_artifact.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import EstimationService, TrainingCorpus, make_estimator
+from repro.catalog.statistics import StatisticsCatalog
+from repro.core.serialization import ModelSizeReport
+from repro.core.trainer import TrainerConfig
+from repro.ml.mart import MARTConfig
+from repro.optimizer.planner import Planner
+from repro.query.tpch_templates import tpch_template_set
+from repro.workloads.datasets import split_workload
+from repro.workloads.tpch import build_tpch_workload
+
+
+def main() -> None:
+    # -- 1. train through the unified Estimator protocol --------------------
+    print("building the training workload (TPC-H, 72 queries) ...")
+    workload = build_tpch_workload(scale_factor=0.1, skew_z=1.5, n_queries=72, seed=11)
+    train, _ = split_workload(workload, train_fraction=0.8, seed=3)
+
+    estimator = make_estimator(
+        "scaling",
+        trainer_config=TrainerConfig(mart=MARTConfig(n_iterations=60, max_leaves=8)),
+    )
+    started = time.perf_counter()
+    estimator.fit(TrainingCorpus(queries=tuple(train)))
+    print(f"trained in {time.perf_counter() - started:.1f}s "
+          f"({len(estimator.model_sets)} model sets)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = Path(tmp) / "model.bin"
+
+        # -- 2. persist and inspect ------------------------------------------
+        estimator.save(artifact)
+        report = ModelSizeReport.for_estimator(estimator)
+        print(f"artifact: {artifact.stat().st_size / 1024.0:.1f} KB on disk, "
+              f"{report.total_bytes / 1024.0:.1f} KB compact-encoded, "
+              f"{report.n_models} models")
+
+        # -- 3. serve many workloads from the loaded artifact ----------------
+        started = time.perf_counter()
+        service = EstimationService.from_artifact(artifact)
+        print(f"service loaded the artifact once in "
+              f"{(time.perf_counter() - started) * 1e3:.1f} ms")
+
+        planner = Planner(workload.catalog, StatisticsCatalog(workload.catalog))
+        queries = tpch_template_set().generate(workload.catalog, 60, seed=42)
+        plans = [planner.plan(query) for query in queries]
+
+        started = time.perf_counter()
+        for _ in range(5):  # admission control asks about the same plans repeatedly
+            estimate = service.estimate_workload(plans)
+        serve_seconds = time.perf_counter() - started
+        print(f"served 5 x {len(plans)} queries in {serve_seconds:.3f}s "
+              f"(feature-cache hit rate {service.stats.hit_rate:.0%})")
+        for resource in service.resources:
+            print(f"  workload total ({resource}): "
+                  f"{float(estimate.query_totals(resource).sum()):,.0f}")
+
+        # -- 4. served estimates == in-memory estimates, bit for bit ---------
+        direct = estimator.estimate_workload(plans)
+        for resource in service.resources:
+            assert np.array_equal(
+                estimate.query_totals(resource), direct.query_totals(resource)
+            )
+        print("served estimates are bit-identical to the in-memory estimator's")
+
+
+if __name__ == "__main__":
+    main()

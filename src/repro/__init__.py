@@ -18,6 +18,15 @@ Quickstart
 >>> estimate_us = model.predict_query(test[0])
 """
 
+from repro.api import (
+    EstimationService,
+    Estimator,
+    TrainingCorpus,
+    available_estimators,
+    load_artifact,
+    make_estimator,
+    make_technique,
+)
 from repro.baselines import (
     AkdereOperatorBaseline,
     LinearBaseline,
@@ -56,10 +65,18 @@ from repro.workloads import (
     split_workload,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # unified estimator API
+    "Estimator",
+    "TrainingCorpus",
+    "EstimationService",
+    "available_estimators",
+    "make_estimator",
+    "make_technique",
+    "load_artifact",
     # techniques
     "AkdereOperatorBaseline",
     "LinearBaseline",

@@ -1,0 +1,90 @@
+"""Public train-once / serve-many API.
+
+Three pieces turn the library's estimation internals into a deployable
+surface (the redesign layered *above* the scalar/batch estimation core):
+
+* the unified :class:`Estimator` protocol (:mod:`repro.api.protocol`) —
+  ``fit`` / ``predict_batch`` / ``save`` / ``load`` — implemented natively
+  by :class:`~repro.core.estimator.ResourceEstimator` and by an adapter
+  over every baseline technique;
+* the technique **registry** (:mod:`repro.api.registry`), through which the
+  experiment harness, the CLI and user code construct any technique by key;
+* the :class:`EstimationService` facade (:mod:`repro.api.service`), which
+  loads a persisted model once and serves many ``estimate_workload`` calls
+  with per-plan feature-row caching.
+
+Typical workflow::
+
+    from repro.api import TrainingCorpus, make_estimator, EstimationService
+
+    estimator = make_estimator("scaling")
+    estimator.fit(TrainingCorpus.from_workload(train_workload))
+    estimator.save("model.bin")
+    ...
+    service = EstimationService.from_artifact("model.bin")   # loads once
+    estimate = service.estimate_workload(plans)              # serves many
+"""
+
+from repro.api.adapters import TechniqueAdapter, featureize_plan
+from repro.api.protocol import Estimator, TrainingCorpus
+from repro.api.registry import (
+    DEFAULT_LINEUP,
+    EstimatorSpec,
+    available_estimators,
+    get_spec,
+    make_estimator,
+    make_technique,
+    register_estimator,
+    standard_lineup,
+)
+from repro.api.service import EstimationService, ServiceStats
+from repro.core.serialization import (
+    ARTIFACT_MAGIC,
+    EstimatorCodecError,
+    load_estimator as load_native_estimator,
+)
+
+__all__ = [
+    "Estimator",
+    "TrainingCorpus",
+    "TechniqueAdapter",
+    "featureize_plan",
+    "EstimatorSpec",
+    "DEFAULT_LINEUP",
+    "available_estimators",
+    "get_spec",
+    "make_estimator",
+    "make_technique",
+    "register_estimator",
+    "standard_lineup",
+    "EstimationService",
+    "ServiceStats",
+    "EstimatorCodecError",
+    "load_artifact",
+]
+
+
+def load_artifact(path):
+    """Load any estimator artifact, dispatching on the leading magic bytes.
+
+    Native :class:`~repro.core.estimator.ResourceEstimator` artifacts load
+    through the binary codec; technique-adapter artifacts load through
+    :meth:`~repro.api.adapters.TechniqueAdapter.load`.  Anything else raises
+    :class:`~repro.core.serialization.EstimatorCodecError`.
+    """
+    from pathlib import Path
+
+    from repro.api.adapters import ADAPTER_MAGIC
+
+    try:
+        with Path(path).open("rb") as handle:
+            data_prefix = handle.read(len(ARTIFACT_MAGIC))
+    except OSError as exc:
+        raise EstimatorCodecError(f"cannot read artifact {path}: {exc}") from exc
+    if data_prefix == ARTIFACT_MAGIC:
+        return load_native_estimator(path)
+    if data_prefix == ADAPTER_MAGIC:
+        return TechniqueAdapter.load(path)
+    raise EstimatorCodecError(
+        f"{path}: not a repro estimator artifact (unrecognised magic bytes)"
+    )

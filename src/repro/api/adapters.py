@@ -1,0 +1,220 @@
+"""Adapters presenting every baseline technique as a unified Estimator.
+
+:class:`TechniqueAdapter` wraps one :class:`~repro.baselines.base.BaselineEstimator`
+per modelled resource behind the four-method protocol of
+:mod:`repro.api.protocol`.  Because baselines predict over *observed*
+queries (operator features pre-extracted by the workload runner), the
+adapter featurises bare :class:`~repro.plan.plan.QueryPlan` inputs on the
+fly — feature values are derived purely from the plan and catalog metadata,
+so no execution is needed to predict.
+
+Persistence: baseline learners are plain numpy-backed Python objects, so the
+adapter serializes them with :mod:`pickle` inside the same
+magic + version + CRC envelope the native codec uses, and
+:meth:`TechniqueAdapter.load` is exactly as strict about corruption and
+version mismatches.  Only load artifacts you produced yourself — pickle
+executes code on load by design.  The SCALING technique does not go through
+this path: :class:`~repro.core.estimator.ResourceEstimator` implements the
+protocol natively with the pickle-free codec in
+:mod:`repro.core.serialization`.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineEstimator
+from repro.core.serialization import EstimatorCodecError, pack_envelope, unpack_envelope
+from repro.features.definitions import FeatureMode
+from repro.features.extractor import FeatureExtractor
+from repro.plan.plan import QueryPlan
+from repro.api.protocol import TrainingCorpus
+from repro.workloads.runner import ObservedOperator, ObservedQuery
+
+__all__ = ["TechniqueAdapter", "featureize_plan", "ADAPTER_MAGIC", "ADAPTER_VERSION"]
+
+#: Leading magic of adapter (pickle-envelope) artifacts.
+ADAPTER_MAGIC = b"RPROPKL\x00"
+#: Current adapter artifact version.
+ADAPTER_VERSION = 1
+
+_EXACT_EXTRACTOR = FeatureExtractor(FeatureMode.EXACT)
+_ESTIMATED_EXTRACTOR = FeatureExtractor(FeatureMode.ESTIMATED)
+
+
+def featureize_plan(plan: QueryPlan, mode: FeatureMode | None = None) -> ObservedQuery:
+    """An :class:`ObservedQuery` view of an unexecuted plan (zero actuals).
+
+    Every feature a baseline consumes is computable from the plan and the
+    catalog alone (paper Figure 4), so prediction-side inputs never require
+    execution; only the ``actual_*`` counters — meaningless before a query
+    runs — are left at zero.  When the consumer reads only one feature mode
+    (a fitted technique does), pass ``mode`` to skip the other extraction
+    pass; both feature fields then share the one extracted dictionary.
+    """
+    if mode is FeatureMode.EXACT:
+        exact = _EXACT_EXTRACTOR.extract_plan(plan)
+        estimated = exact
+    elif mode is FeatureMode.ESTIMATED:
+        estimated = _ESTIMATED_EXTRACTOR.extract_plan(plan)
+        exact = estimated
+    else:
+        exact = _EXACT_EXTRACTOR.extract_plan(plan)
+        estimated = _ESTIMATED_EXTRACTOR.extract_plan(plan)
+    pipeline_of = {
+        op.node_id: pipeline.index
+        for pipeline in plan.pipelines()
+        for op in pipeline.operators
+    }
+    operators = [
+        ObservedOperator(
+            family=exact[op.node_id].family,
+            exact_features=exact[op.node_id].values,
+            estimated_features=estimated[op.node_id].values,
+            actual_cpu_us=0.0,
+            actual_logical_io=0.0,
+            pipeline=pipeline_of.get(op.node_id, 0),
+            node_id=op.node_id,
+        )
+        for op in plan.operators()
+    ]
+    return ObservedQuery(
+        query=plan.query,
+        plan=plan,
+        operators=operators,
+        total_cpu_us=0.0,
+        total_logical_io=0.0,
+        optimizer_cost=plan.total_estimated_cost,
+    )
+
+
+class TechniqueAdapter:
+    """One baseline technique behind the unified Estimator protocol.
+
+    A baseline fits for one resource at a time, so the adapter holds one
+    fitted underlying technique per resource of the training corpus.
+    Featureised views of bare plans are memoised per plan object (bounded
+    LRU), so serving several resources — or the same plans repeatedly —
+    pays the feature-extraction loop once per plan, mirroring the
+    per-plan caching of :class:`~repro.api.service.EstimationService`.
+    """
+
+    #: Maximum number of plans whose featureised views stay cached.
+    _FEATURE_CACHE_SIZE = 1024
+
+    def __init__(
+        self,
+        key: str,
+        factory: Callable[..., BaselineEstimator],
+        options: dict | None = None,
+    ) -> None:
+        self.key = key
+        self._factory = factory
+        self.options = dict(options or {})
+        self.name = factory(**self.options).name
+        self.mode: FeatureMode = FeatureMode.EXACT
+        self.resources: tuple[str, ...] = ()
+        self.fitted_: dict[str, BaselineEstimator] = {}
+        # id(plan) -> (plan, featureised view); the reference pins the id.
+        self._featureized: OrderedDict[int, tuple[object, ObservedQuery]] = OrderedDict()
+
+    def _as_observed(self, plans: Sequence) -> list[ObservedQuery]:
+        observed: list[ObservedQuery] = []
+        for plan in plans:
+            if hasattr(plan, "plan"):  # already an observed query
+                observed.append(plan)
+                continue
+            key = id(plan)
+            cached = self._featureized.get(key)
+            if cached is not None and cached[0] is plan:
+                self._featureized.move_to_end(key)
+                observed.append(cached[1])
+                continue
+            view = featureize_plan(plan, self.mode)
+            self._featureized[key] = (plan, view)
+            self._featureized.move_to_end(key)
+            while len(self._featureized) > self._FEATURE_CACHE_SIZE:
+                self._featureized.popitem(last=False)
+            observed.append(view)
+        return observed
+
+    # -- protocol ------------------------------------------------------------------------------
+    def fit(self, training_data: TrainingCorpus) -> "TechniqueAdapter":
+        """Fit one underlying technique per resource of the corpus."""
+        self.mode = training_data.mode
+        self.resources = tuple(training_data.resources)
+        self._featureized.clear()  # cached views are mode-specific
+        queries = list(training_data.queries)
+        self.fitted_ = {
+            resource: self._factory(**self.options).fit(queries, resource, training_data.mode)
+            for resource in self.resources
+        }
+        return self
+
+    def predict_batch(self, plans: Sequence, resource: str) -> np.ndarray:
+        """Query-level totals for plans or observed queries, in input order."""
+        fitted = self.fitted_.get(resource)
+        if fitted is None:
+            raise RuntimeError(
+                f"{self.name} has no fitted model for resource {resource!r}; "
+                f"fitted resources: {self.resources or '()'}"
+            )
+        return fitted.predict_queries(self._as_observed(plans))
+
+    # -- persistence ----------------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the fitted adapter as a versioned, checksummed pickle artifact."""
+        payload = pickle.dumps(
+            {
+                "key": self.key,
+                "options": self.options,
+                "name": self.name,
+                "mode": self.mode.value,
+                "resources": self.resources,
+                "fitted": self.fitted_,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        Path(path).write_bytes(pack_envelope(ADAPTER_MAGIC, ADAPTER_VERSION, payload))
+
+    @classmethod
+    def load(cls, path) -> "TechniqueAdapter":
+        """Load an adapter artifact written by :meth:`save` (strict).
+
+        The artifact embeds a pickle; only load files you trust.  The
+        underlying factory is re-resolved from the estimator registry by the
+        stored key, so a loaded adapter can be re-fitted as well as served.
+        """
+        try:
+            data = Path(path).read_bytes()
+        except OSError as exc:
+            raise EstimatorCodecError(f"cannot read artifact {path}: {exc}") from exc
+        payload = unpack_envelope(data, ADAPTER_MAGIC, ADAPTER_VERSION, "technique")
+        try:
+            state = pickle.loads(payload)
+        except Exception as exc:  # pickle raises a zoo of exception types
+            raise EstimatorCodecError(f"cannot unpickle technique artifact: {exc}") from exc
+
+        from repro.api.registry import get_spec
+
+        try:
+            spec = get_spec(state["key"])
+        except KeyError as exc:
+            raise EstimatorCodecError(
+                f"artifact references estimator key {state['key']!r}, which is "
+                "not registered in this process"
+            ) from exc
+        adapter = cls(state["key"], spec.factory, state["options"])
+        adapter.name = state["name"]
+        adapter.mode = FeatureMode(state["mode"])
+        adapter.resources = tuple(state["resources"])
+        adapter.fitted_ = state["fitted"]
+        return adapter
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TechniqueAdapter({self.key!r}, resources={self.resources})"

@@ -1,0 +1,97 @@
+"""The unified Estimator protocol and its training-corpus input.
+
+Every estimation technique in the library — the paper's SCALING method
+(:class:`~repro.core.estimator.ResourceEstimator`) and all seven baselines
+adapted through :mod:`repro.api.adapters` — presents the same four-method
+surface, so callers can train, persist and serve any technique without
+knowing which one they hold:
+
+* ``fit(training_data)`` — train on a :class:`TrainingCorpus`;
+* ``predict_batch(plans, resource)`` — query-level totals for many plans;
+* ``save(path)`` / ``load(path)`` — full round-trip persistence.
+
+The protocol deliberately mirrors the deployment shape of Section 7.3:
+training is an offline phase producing a small artifact, prediction is an
+online phase that never retrains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.features.definitions import FeatureMode
+from repro.workloads.runner import ObservedQuery, ObservedWorkload
+
+__all__ = ["Estimator", "TrainingCorpus", "DEFAULT_RESOURCES"]
+
+#: The resources the library models, as in the paper.
+DEFAULT_RESOURCES: tuple[str, ...] = ("cpu", "io")
+
+
+@dataclass(frozen=True)
+class TrainingCorpus:
+    """Everything an estimation technique needs to train.
+
+    Bundles the observed training queries with the feature mode they should
+    be read in and the resources to model, so ``fit`` has a single argument
+    regardless of technique.
+    """
+
+    queries: tuple[ObservedQuery, ...]
+    mode: FeatureMode = FeatureMode.EXACT
+    resources: tuple[str, ...] = DEFAULT_RESOURCES
+    #: Label used in logs and cache keys (e.g. the workload name).
+    name: str = "train"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "queries", tuple(self.queries))
+        object.__setattr__(self, "resources", tuple(self.resources))
+        if not self.resources:
+            raise ValueError("a training corpus must name at least one resource")
+
+    @classmethod
+    def from_workload(
+        cls,
+        workload: ObservedWorkload,
+        mode: FeatureMode = FeatureMode.EXACT,
+        resources: Sequence[str] = DEFAULT_RESOURCES,
+    ) -> "TrainingCorpus":
+        """A corpus over every query of an observed workload."""
+        return cls(
+            queries=tuple(workload.queries),
+            mode=mode,
+            resources=tuple(resources),
+            name=workload.name,
+        )
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+    @property
+    def n_operators(self) -> int:
+        return sum(len(query.operators) for query in self.queries)
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """Train-once / serve-many surface shared by every estimation technique.
+
+    ``predict_batch`` accepts :class:`~repro.plan.plan.QueryPlan` objects or
+    observed queries (anything with a ``plan`` attribute) and returns one
+    query-level estimate per input, in order.
+    """
+
+    name: str
+
+    def fit(self, training_data: TrainingCorpus) -> "Estimator": ...
+
+    def predict_batch(self, plans: Sequence, resource: str) -> np.ndarray: ...
+
+    def save(self, path) -> None: ...
+
+    @classmethod
+    def load(cls, path) -> "Estimator": ...

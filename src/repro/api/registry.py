@@ -1,0 +1,183 @@
+"""The single registry of estimation techniques.
+
+Every technique the paper evaluates is constructible here by key — both as
+the raw :class:`~repro.baselines.base.BaselineEstimator` the experiment
+harness consumes (:func:`make_technique`, :func:`standard_lineup`) and as a
+unified :class:`~repro.api.protocol.Estimator` with persistence
+(:func:`make_estimator`).  The experiment tables, the CLI and the examples
+all construct techniques through this module instead of importing baseline
+classes ad hoc, so adding a technique means one :func:`register_estimator`
+call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines.akdere import AkdereOperatorBaseline
+from repro.baselines.base import BaselineEstimator
+from repro.baselines.linear import LinearBaseline
+from repro.baselines.mart import MARTBaseline
+from repro.baselines.opt import OptimizerBaseline
+from repro.baselines.regtree import RegTreeBaseline
+from repro.baselines.scaling import ScalingTechnique
+from repro.baselines.svm import SVMBaseline
+from repro.core.estimator import ResourceEstimator
+from repro.core.trainer import TrainerConfig
+from repro.ml.mart import MARTConfig
+from repro.api.adapters import TechniqueAdapter
+from repro.api.protocol import Estimator
+
+__all__ = [
+    "EstimatorSpec",
+    "register_estimator",
+    "available_estimators",
+    "get_spec",
+    "make_technique",
+    "make_estimator",
+    "standard_lineup",
+    "DEFAULT_LINEUP",
+]
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """One registered estimation technique."""
+
+    key: str
+    summary: str
+    #: Builds the raw baseline the experiment harness evaluates.
+    factory: Callable[..., BaselineEstimator]
+    #: Optional native protocol implementation; when ``None`` the technique
+    #: is adapted through :class:`~repro.api.adapters.TechniqueAdapter`.
+    estimator_factory: Callable[..., Estimator] | None = None
+
+
+_REGISTRY: dict[str, EstimatorSpec] = {}
+
+
+def register_estimator(
+    key: str,
+    summary: str,
+    factory: Callable[..., BaselineEstimator],
+    estimator_factory: Callable[..., Estimator] | None = None,
+) -> None:
+    """Register a technique under ``key`` (lower-case identifier)."""
+    if key in _REGISTRY:
+        raise ValueError(f"estimator key {key!r} is already registered")
+    _REGISTRY[key] = EstimatorSpec(
+        key=key, summary=summary, factory=factory, estimator_factory=estimator_factory
+    )
+
+
+def available_estimators() -> tuple[str, ...]:
+    """All registered technique keys, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_spec(key: str) -> EstimatorSpec:
+    """The registered spec for ``key``; raises ``KeyError`` with the known keys."""
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown estimator {key!r}; known: {known}") from None
+
+
+def make_technique(key: str, **options) -> BaselineEstimator:
+    """Construct the raw baseline technique registered under ``key``."""
+    return get_spec(key).factory(**options)
+
+
+def make_estimator(key: str, **options) -> Estimator:
+    """Construct the technique behind the unified Estimator protocol.
+
+    The SCALING technique returns a native
+    :class:`~repro.core.estimator.ResourceEstimator` (pickle-free binary
+    persistence); every other key returns a
+    :class:`~repro.api.adapters.TechniqueAdapter`.
+    """
+    spec = get_spec(key)
+    if spec.estimator_factory is not None:
+        return spec.estimator_factory(**options)
+    return TechniqueAdapter(key, spec.factory, options)
+
+
+def _scaling_estimator(
+    mart_config: MARTConfig | None = None,
+    trainer_config: TrainerConfig | None = None,
+) -> ResourceEstimator:
+    if trainer_config is None:
+        trainer_config = TrainerConfig(mart=mart_config or MARTConfig())
+    return ResourceEstimator(trainer_config=trainer_config)
+
+
+register_estimator(
+    "opt",
+    "optimizer cost x per-operator adjustment factor (Section 7, technique 1)",
+    OptimizerBaseline,
+)
+register_estimator(
+    "akdere",
+    "operator-level linear models with bottom-up propagation (Akdere et al. [8])",
+    AkdereOperatorBaseline,
+)
+register_estimator(
+    "linear",
+    "per-family linear regression with greedy feature selection",
+    LinearBaseline,
+)
+register_estimator(
+    "mart",
+    "per-family MART without the scaling framework",
+    MARTBaseline,
+)
+register_estimator(
+    "svm",
+    "per-family kernel regression (WEKA SVM substitute)",
+    SVMBaseline,
+)
+register_estimator(
+    "regtree",
+    "boosted piecewise-linear trees (transform-regression stand-in)",
+    RegTreeBaseline,
+)
+register_estimator(
+    "scaling",
+    "MART + scaling functions + online model selection (the paper's method)",
+    ScalingTechnique,
+    estimator_factory=_scaling_estimator,
+)
+
+#: Technique keys of the paper's full CPU-experiment line-up, in table order.
+DEFAULT_LINEUP: tuple[str, ...] = (
+    "opt",
+    "akdere",
+    "linear",
+    "mart",
+    "svm",
+    "regtree",
+    "scaling",
+)
+
+
+def standard_lineup(
+    fast: bool = True, mart_config: MARTConfig | None = None
+) -> list[BaselineEstimator]:
+    """The full line-up of techniques compared in the CPU experiments.
+
+    ``fast`` selects smaller model capacities so the whole experiment suite
+    runs quickly; the benchmark harness can request paper-scale settings.
+    An explicit ``mart_config`` overrides the capacity of every MART-based
+    technique (plain MART and SCALING).
+    """
+    if mart_config is None:
+        mart_config = MARTConfig(n_iterations=150 if fast else 1000)
+    per_key_options: dict[str, dict] = {
+        "mart": {"mart_config": mart_config},
+        "scaling": {"mart_config": mart_config},
+    }
+    return [
+        make_technique(key, **per_key_options.get(key, {})) for key in DEFAULT_LINEUP
+    ]

@@ -1,0 +1,125 @@
+"""The serving session layer: load a model once, estimate many workloads.
+
+The paper's Section 7.3 deployment argument — trained models are tiny and
+prediction overhead is negligible — assumes a resident model that serves
+many requests.  :class:`EstimationService` is that resident session: it
+loads a persisted :class:`~repro.core.estimator.ResourceEstimator` once
+(:meth:`EstimationService.from_artifact`) and then answers any number of
+``estimate_workload`` calls without retraining or reloading.
+
+The service adds one serving-side optimisation over the bare estimator:
+**per-plan feature-row caching**.  Feature extraction is the only
+per-operator Python-loop work left on the batched estimation path, and
+serving scenarios (admission control, repeated what-if costing, scheduling)
+ask about the same plans repeatedly — so extraction results are memoised per
+plan object in a bounded LRU.  Cached or not, the service's numbers are
+bit-identical to ``estimator.estimate_workload``: both paths feed the same
+feature rows through the same family-batched model evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.estimator import ResourceEstimator, WorkloadEstimate
+from repro.core.serialization import ModelSizeReport, load_estimator
+from repro.plan.plan import QueryPlan
+
+__all__ = ["EstimationService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Counters describing one service session."""
+
+    workloads_served: int = 0
+    plans_served: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+@dataclass
+class EstimationService:
+    """A long-lived serving session over one trained estimator."""
+
+    estimator: ResourceEstimator
+    #: Maximum number of plans whose extracted feature rows stay cached.
+    cache_size: int = 2048
+    stats: ServiceStats = field(default_factory=ServiceStats)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.estimator, ResourceEstimator):
+            raise TypeError(
+                "EstimationService serves ResourceEstimator artifacts; got "
+                f"{type(self.estimator).__name__}"
+            )
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        # id(plan) -> (plan, features); the plan reference keeps the id stable.
+        self._feature_cache: OrderedDict[int, tuple[QueryPlan, dict]] = OrderedDict()
+
+    @classmethod
+    def from_artifact(cls, path: str | Path, cache_size: int = 2048) -> "EstimationService":
+        """Load a persisted estimator once and wrap it in a serving session."""
+        return cls(estimator=load_estimator(path), cache_size=cache_size)
+
+    # -- serving --------------------------------------------------------------------------------
+    def estimate_workload(
+        self,
+        plans: Iterable[QueryPlan],
+        resources: Sequence[str] | None = None,
+    ) -> WorkloadEstimate:
+        """Batch-estimate a workload, reusing cached feature rows per plan.
+
+        Same grouping, matrices and model evaluation as
+        :meth:`ResourceEstimator.estimate_workload`, so the results are
+        identical — the service only skips re-extracting features for plans
+        it has served before.
+        """
+        plans = list(plans)
+        extracted = [self._plan_features(plan) for plan in plans]
+        estimate = self.estimator.estimate_extracted_workload(plans, extracted, resources)
+        self.stats.workloads_served += 1
+        self.stats.plans_served += len(plans)
+        return estimate
+
+    def estimate_query(self, plan: QueryPlan, resource: str = "cpu") -> float:
+        """Query-level estimate for one plan (cached like any other)."""
+        return self.estimate_workload([plan], (resource,)).query(0, resource)
+
+    # -- introspection ---------------------------------------------------------------------------
+    @property
+    def resources(self) -> tuple[str, ...]:
+        return self.estimator.resources
+
+    def model_size_report(self) -> ModelSizeReport:
+        """Compact-encoding size summary of the served model collection."""
+        return ModelSizeReport.for_estimator(self.estimator)
+
+    def clear_cache(self) -> None:
+        self._feature_cache.clear()
+
+    # -- internals ---------------------------------------------------------------------------------
+    def _plan_features(self, plan: QueryPlan) -> dict:
+        key = id(plan)
+        cached = self._feature_cache.get(key)
+        if cached is not None and cached[0] is plan:
+            self._feature_cache.move_to_end(key)
+            self.stats.cache_hits += 1
+            return cached[1]
+        features = self.estimator.extract_plan_features(plan)
+        self.stats.cache_misses += 1
+        if self.cache_size > 0:
+            self._feature_cache[key] = (plan, features)
+            self._feature_cache.move_to_end(key)
+            while len(self._feature_cache) > self.cache_size:
+                self._feature_cache.popitem(last=False)
+        return features

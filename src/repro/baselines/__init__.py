@@ -33,21 +33,11 @@ __all__ = [
 def standard_techniques(fast: bool = True, mart_config=None) -> list[BaselineEstimator]:
     """The full line-up of techniques compared in the CPU experiments.
 
-    ``fast`` selects smaller model capacities so the whole experiment suite
-    runs quickly; the benchmark harness can request paper-scale settings.
-    An explicit ``mart_config`` overrides the capacity of every MART-based
-    technique (plain MART and SCALING).
+    Thin wrapper over :func:`repro.api.registry.standard_lineup` — every
+    technique is constructed through the unified estimator registry, so the
+    harness and the registry can never disagree on the line-up.  (Imported
+    lazily: the registry imports this package.)
     """
-    from repro.ml.mart import MARTConfig
+    from repro.api.registry import standard_lineup
 
-    if mart_config is None:
-        mart_config = MARTConfig(n_iterations=150 if fast else 1000)
-    return [
-        OptimizerBaseline(),
-        AkdereOperatorBaseline(),
-        LinearBaseline(),
-        MARTBaseline(mart_config=mart_config),
-        SVMBaseline(),
-        RegTreeBaseline(),
-        ScalingTechnique(mart_config=mart_config),
-    ]
+    return standard_lineup(fast=fast, mart_config=mart_config)

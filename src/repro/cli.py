@@ -5,47 +5,78 @@ Usage (module form, no installation entry point required)::
     python -m repro.cli list
     python -m repro.cli run table_4 [--profile fast|paper] [--output results/]
     python -m repro.cli run all --output results/
-    python -m repro.cli estimate [--queries N] [--resource cpu|io] [--profile ...]
+    python -m repro.cli train --queries 72 --out model.bin
+    python -m repro.cli estimate --model model.bin --queries 50
+    python -m repro.cli estimate [--queries N] [--resource cpu|io|both]
+    python -m repro.cli models inspect model.bin
 
 ``run`` executes one registered experiment (or ``all`` of them) and prints
 the regenerated table/figure; with ``--output`` the rendered results are
 also written to one text file per experiment, mirroring what the benchmark
 suite stores under ``benchmarks/results/``.
 
-``estimate`` exercises the production serving path: it trains a SCALING
-estimator on the profile's TPC-H workload, plans a batch of fresh queries
-and estimates all of them with one ``estimate_workload`` call, reporting
-per-query estimates and end-to-end throughput.
+The train-once / serve-many workflow is split across three subcommands:
+
+* ``train`` executes a TPC-H training workload, fits a SCALING estimator
+  and writes it to a versioned model artifact (``--out``);
+* ``estimate`` exercises the serving path through an
+  :class:`~repro.api.EstimationService`: with ``--model`` it loads a
+  persisted artifact (no retraining), otherwise it trains an identical
+  estimator in memory first; either way a batch of freshly planned queries
+  is estimated with one ``estimate_workload`` call;
+* ``models inspect`` prints the format header and the
+  :class:`~repro.core.serialization.ModelSizeReport` of an artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from pathlib import Path
 
+from repro import __version__
+from repro.api.adapters import ADAPTER_MAGIC
+from repro.api.service import EstimationService
 from repro.catalog.statistics import StatisticsCatalog
+from repro.catalog.tpch import build_tpch_catalog
 from repro.core.estimator import ResourceEstimator
+from repro.core.serialization import (
+    ARTIFACT_VERSION,
+    EstimatorCodecError,
+    ModelSizeReport,
+    load_estimator,
+)
 from repro.core.trainer import TrainerConfig
-from repro.experiments import config as cfg
-from repro.experiments.config import get_config
+from repro.experiments.config import ExperimentConfig, get_config
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.features.definitions import FeatureMode
 from repro.optimizer.planner import Planner
 from repro.query.tpch_templates import tpch_template_set
 from repro.workloads.datasets import build_training_data, split_workload
+from repro.workloads.tpch import build_tpch_workload
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "train_scaling_estimator"]
+
+#: Scale factor of the CLI's single-scale TPC-H training workload.
+_TRAIN_SCALE = 0.1
+#: Default number of executed queries in the CLI training workload.
+_DEFAULT_TRAIN_QUERIES = 144
+#: Default seed for the CLI training workload.
+_DEFAULT_TRAIN_SEED = 7
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for the ``repro.cli`` entry point."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
-        description="Regenerate the tables and figures of the paper's evaluation.",
+        description="Regenerate the paper's evaluation; train, persist and serve estimators.",
     )
-    subparsers = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command")
 
     subparsers.add_parser("list", help="list the registered experiments")
 
@@ -67,8 +98,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to write rendered results into (one file per experiment)",
     )
 
+    train_parser = subparsers.add_parser(
+        "train", help="train a SCALING estimator and save it as a model artifact"
+    )
+    train_parser.add_argument(
+        "--out",
+        type=Path,
+        required=True,
+        help="path of the model artifact to write",
+    )
+    train_parser.add_argument(
+        "--queries",
+        type=int,
+        default=_DEFAULT_TRAIN_QUERIES,
+        help=f"TPC-H queries executed for training data (default: {_DEFAULT_TRAIN_QUERIES})",
+    )
+    train_parser.add_argument(
+        "--resource",
+        choices=("cpu", "io", "both"),
+        default="both",
+        help="resource(s) to model (default: both)",
+    )
+    train_parser.add_argument(
+        "--profile",
+        choices=("fast", "paper"),
+        default=None,
+        help="experiment profile (default: REPRO_PROFILE or 'fast')",
+    )
+    train_parser.add_argument(
+        "--train-seed",
+        type=int,
+        default=_DEFAULT_TRAIN_SEED,
+        help=f"random seed of the training workload (default: {_DEFAULT_TRAIN_SEED})",
+    )
+    train_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="override the profile's MART boosting iterations (smaller = faster)",
+    )
+
     estimate_parser = subparsers.add_parser(
         "estimate", help="batch-estimate a freshly planned TPC-H workload"
+    )
+    estimate_parser.add_argument(
+        "--model",
+        type=Path,
+        default=None,
+        help="serve from this model artifact instead of retraining",
     )
     estimate_parser.add_argument(
         "--queries",
@@ -100,6 +177,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="number of per-query estimates to print (default: 10)",
     )
+    estimate_parser.add_argument(
+        "--train-queries",
+        type=int,
+        default=_DEFAULT_TRAIN_QUERIES,
+        help="training-workload size when no --model is given "
+        f"(default: {_DEFAULT_TRAIN_QUERIES})",
+    )
+    estimate_parser.add_argument(
+        "--train-seed",
+        type=int,
+        default=_DEFAULT_TRAIN_SEED,
+        help="training-workload seed when no --model is given "
+        f"(default: {_DEFAULT_TRAIN_SEED})",
+    )
+    estimate_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="override the profile's MART boosting iterations (in-memory training only)",
+    )
+
+    models_parser = subparsers.add_parser(
+        "models", help="inspect persisted model artifacts"
+    )
+    models_sub = models_parser.add_subparsers(dest="models_command")
+    inspect_parser = models_sub.add_parser(
+        "inspect", help="print format header and size report of an artifact"
+    )
+    inspect_parser.add_argument("artifact", type=Path, help="model artifact path")
     return parser
 
 
@@ -114,31 +220,155 @@ def _run_one(experiment_id: str, config, output_dir: Path | None) -> str:
     return f"{text}\n[{experiment_id} completed in {elapsed:.1f}s]"
 
 
-def _run_estimate(args: argparse.Namespace) -> int:
-    """Train once, then batch-estimate a fresh workload via estimate_workload."""
-    config = get_config(args.profile)
-    resources = ("cpu", "io") if args.resource == "both" else (args.resource,)
+# ---------------------------------------------------------------------------
+# train / estimate / models
+# ---------------------------------------------------------------------------
 
-    workload = cfg.tpch_workload(config)
+def train_scaling_estimator(
+    config: ExperimentConfig,
+    resources: tuple[str, ...],
+    n_queries: int = _DEFAULT_TRAIN_QUERIES,
+    seed: int = _DEFAULT_TRAIN_SEED,
+    iterations: int | None = None,
+) -> ResourceEstimator:
+    """Train the CLI's SCALING estimator (shared by ``train`` and ``estimate``).
+
+    Deterministic in its arguments: ``train --out`` followed by
+    ``estimate --model`` reproduces exactly what ``estimate`` without a
+    model would have computed in memory with the same training parameters.
+    """
+    workload = build_tpch_workload(
+        scale_factor=_TRAIN_SCALE,
+        skew_z=config.tpch_skew,
+        n_queries=n_queries,
+        seed=seed,
+    )
     train, _ = split_workload(workload, config.train_fraction, seed=config.seed)
+    mart = config.mart
+    if iterations is not None:
+        mart = dataclasses.replace(mart, n_iterations=iterations)
     training_data = build_training_data(train, FeatureMode.EXACT)
-    estimator = ResourceEstimator.train(
+    return ResourceEstimator.train(
         training_data,
         FeatureMode.EXACT,
         resources=resources,
-        config=TrainerConfig(mart=config.mart),
+        config=TrainerConfig(mart=mart),
     )
 
-    planner = Planner(workload.catalog, StatisticsCatalog(workload.catalog))
-    queries = tpch_template_set().generate(workload.catalog, args.queries, seed=args.seed)
+
+def _resources_from_arg(resource: str) -> tuple[str, ...]:
+    return ("cpu", "io") if resource == "both" else (resource,)
+
+
+def _run_train(args: argparse.Namespace) -> int:
+    """Fit a SCALING estimator and persist it as a versioned artifact."""
+    config = get_config(args.profile)
+    resources = _resources_from_arg(args.resource)
+
+    # Fail on an unwritable output path *before* the expensive training run.
+    # The probe file is removed again so a failed or interrupted training
+    # never leaves a zero-byte artifact behind.
+    existed_before = args.out.exists()
+    try:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.touch()
+        if not existed_before:
+            args.out.unlink()
+    except OSError as exc:
+        print(f"error: cannot write artifact {args.out}: {exc}", file=sys.stderr)
+        return 2
+
+    started = time.perf_counter()
+    estimator = train_scaling_estimator(
+        config, resources, n_queries=args.queries, seed=args.train_seed,
+        iterations=args.iterations,
+    )
+    train_seconds = time.perf_counter() - started
+
+    try:
+        estimator.save(args.out)
+    except OSError as exc:
+        print(f"error: cannot write artifact {args.out}: {exc}", file=sys.stderr)
+        return 2
+    artifact_bytes = args.out.stat().st_size
+    report = ModelSizeReport.for_estimator(estimator)
+    families = sorted({family.value for family, _ in estimator.model_sets})
+    print(f"trained SCALING estimator on {args.queries} TPC-H queries "
+          f"(profile={config.profile}, resources={'+'.join(resources)}) "
+          f"in {train_seconds:.1f}s")
+    print(f"model families: {', '.join(families)}")
+    print(f"model sets: {report.n_model_sets}, models: {report.n_models}, "
+          f"compact size: {report.total_bytes / 1024.0:.1f} KB")
+    print(f"artifact: {args.out} ({artifact_bytes / 1024.0:.1f} KB, "
+          f"format v{ARTIFACT_VERSION})")
+    return 0
+
+
+def _load_native_estimator(path: Path) -> ResourceEstimator:
+    """Load an artifact the CLI can serve, with a clear error otherwise.
+
+    Technique-adapter artifacts are rejected on their magic bytes alone —
+    they embed a pickle, which must never be deserialised just to find out
+    the file is not servable here.
+    """
+    try:
+        with path.open("rb") as handle:
+            prefix = handle.read(len(ADAPTER_MAGIC))
+    except OSError as exc:
+        raise EstimatorCodecError(f"cannot read artifact {path}: {exc}") from exc
+    if prefix == ADAPTER_MAGIC:
+        raise EstimatorCodecError(
+            f"{path} contains a pickled baseline technique; the CLI serves "
+            "SCALING artifacts — load baseline artifacts with "
+            "repro.api.load_artifact() instead"
+        )
+    return load_estimator(path)
+
+
+def _serving_service(args: argparse.Namespace, config, resources) -> tuple[EstimationService, tuple[str, ...], str]:
+    """Build the serving session: from an artifact, or train in memory."""
+    if args.model is not None:
+        service = EstimationService(_load_native_estimator(args.model))
+        available = service.resources
+        missing = [r for r in resources if r not in available]
+        if missing and args.resource != "both":
+            raise EstimatorCodecError(
+                f"artifact {args.model} models {available}, not {missing[0]!r}"
+            )
+        served = tuple(r for r in resources if r in available) or available
+        source = f"loaded from {args.model} (no retraining)"
+        if missing:
+            source += f"; artifact models {'+'.join(served)} only"
+        return service, served, source
+    estimator = train_scaling_estimator(
+        config, resources, n_queries=args.train_queries, seed=args.train_seed,
+        iterations=args.iterations,
+    )
+    return EstimationService(estimator), resources, "trained in memory"
+
+
+def _run_estimate(args: argparse.Namespace) -> int:
+    """Serve estimates for a fresh workload through an EstimationService."""
+    config = get_config(args.profile)
+    requested = _resources_from_arg(args.resource)
+    try:
+        service, resources, source = _serving_service(args, config, requested)
+    except EstimatorCodecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    catalog = build_tpch_catalog(scale_factor=_TRAIN_SCALE, skew_z=config.tpch_skew)
+    planner = Planner(catalog, StatisticsCatalog(catalog))
+    queries = tpch_template_set().generate(catalog, args.queries, seed=args.seed)
     plans = [planner.plan(query) for query in queries]
 
     started = time.perf_counter()
-    estimate = estimator.estimate_workload(plans, resources)
+    estimate = service.estimate_workload(plans, resources)
     elapsed = time.perf_counter() - started
     n_operators = sum(plan.operator_count() for plan in plans)
 
     unit = {"cpu": "us", "io": "logical reads"}
+    print(f"model: {source}")
     for index in range(min(args.show, estimate.n_plans)):
         parts = ", ".join(
             f"{resource}={estimate.query(index, resource):,.0f} {unit[resource]}"
@@ -159,18 +389,60 @@ def _run_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_models_inspect(args: argparse.Namespace) -> int:
+    """Print the format header and ModelSizeReport of a model artifact."""
+    try:
+        estimator = _load_native_estimator(args.artifact)
+    except EstimatorCodecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = ModelSizeReport.for_estimator(estimator)
+    print(f"artifact: {args.artifact} ({args.artifact.stat().st_size:,} bytes on disk)")
+    print(f"format version: {ARTIFACT_VERSION}")
+    print(f"feature mode: {estimator.feature_mode.value}")
+    print(f"resources: {', '.join(estimator.resources)}")
+    families = sorted({family.value for family, _ in estimator.model_sets})
+    print(f"families: {', '.join(families)}")
+    print(f"model sets: {report.n_model_sets}")
+    print(f"models: {report.n_models}")
+    print(f"compact-encoding size: {report.total_bytes:,} bytes")
+    print(f"largest single model: {report.largest_single_model_bytes:,} bytes")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.command is None:
+        parser.print_usage(sys.stderr)
+        print(
+            f"{parser.prog}: error: a subcommand is required "
+            "(list, run, train, estimate, models)",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.command == "list":
         for experiment_id in sorted(EXPERIMENTS):
             print(experiment_id)
         return 0
 
+    if args.command == "train":
+        return _run_train(args)
+
     if args.command == "estimate":
         return _run_estimate(args)
+
+    if args.command == "models":
+        if args.models_command != "inspect":
+            print(
+                f"{parser.prog}: error: usage: models inspect <artifact>",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_models_inspect(args)
 
     config = get_config(args.profile)
     if args.experiment == "all":

@@ -28,6 +28,14 @@ from repro.core.scaling import (
     default_scaling_function,
     make_scaling_function,
 )
+from repro.core.serialization import (
+    EstimatorCodecError,
+    ModelSizeReport,
+    estimator_from_bytes,
+    estimator_to_bytes,
+    load_estimator,
+    save_estimator,
+)
 from repro.core.trainer import FamilyTrainingData, OperatorModelSet, ScalingModelTrainer, TrainerConfig
 
 __all__ = [
@@ -41,6 +49,12 @@ __all__ = [
     "ScalingFunctionSelector",
     "default_scaling_function",
     "make_scaling_function",
+    "EstimatorCodecError",
+    "ModelSizeReport",
+    "estimator_from_bytes",
+    "estimator_to_bytes",
+    "load_estimator",
+    "save_estimator",
     "FamilyTrainingData",
     "OperatorModelSet",
     "ScalingModelTrainer",

@@ -131,12 +131,24 @@ class WorkloadEstimate:
 
 @dataclass
 class ResourceEstimator:
-    """Operator-level resource estimation with MART + scaling models."""
+    """Operator-level resource estimation with MART + scaling models.
+
+    The class satisfies the :class:`repro.api.Estimator` protocol directly:
+    :meth:`fit` trains from a training corpus (or pre-built family data),
+    :meth:`predict_batch` produces query-level totals for a list of plans,
+    and :meth:`save` / :meth:`load` round-trip the trained model through the
+    versioned artifact codec in :mod:`repro.core.serialization`.
+    """
 
     feature_mode: FeatureMode = FeatureMode.EXACT
     model_sets: dict[tuple[OperatorFamily, str], OperatorModelSet] = field(default_factory=dict)
     fallbacks: dict[str, _FallbackModel] = field(default_factory=dict)
     resources: tuple[str, ...] = DEFAULT_RESOURCES
+    #: Training configuration used by :meth:`fit`; persisted with the model.
+    trainer_config: TrainerConfig | None = None
+
+    #: Display name under the unified Estimator protocol (not a dataclass field).
+    name = "SCALING"
 
     def __post_init__(self) -> None:
         self._extractor = FeatureExtractor(self.feature_mode)
@@ -158,7 +170,7 @@ class ResourceEstimator:
         ``feature_mode`` that will be used at estimation time.
         """
         trainer = ScalingModelTrainer(config)
-        estimator = cls(feature_mode=feature_mode, resources=resources)
+        estimator = cls(feature_mode=feature_mode, resources=resources, trainer_config=config)
         for resource in resources:
             per_tuple_rates: list[float] = []
             for family, data in training_data.items():
@@ -174,6 +186,48 @@ class ResourceEstimator:
             )
         return estimator
 
+    def fit(self, training_data) -> "ResourceEstimator":
+        """Train this estimator in place (the unified Estimator protocol).
+
+        ``training_data`` is either a :class:`repro.api.TrainingCorpus`-like
+        object (anything exposing ``queries``, ``mode`` and ``resources``) or
+        the pre-built ``{family: FamilyTrainingData}`` dictionary consumed by
+        :meth:`train`.  A corpus overrides the instance's feature mode and
+        resource tuple; a raw dictionary keeps them.
+        """
+        if isinstance(training_data, dict):
+            family_data = training_data
+            mode, resources = self.feature_mode, self.resources
+        else:
+            from repro.workloads.datasets import build_training_data
+
+            mode = training_data.mode
+            resources = tuple(training_data.resources)
+            family_data = build_training_data(list(training_data.queries), mode)
+        trained = ResourceEstimator.train(
+            family_data, feature_mode=mode, resources=resources, config=self.trainer_config
+        )
+        self.feature_mode = trained.feature_mode
+        self.resources = trained.resources
+        self.model_sets = trained.model_sets
+        self.fallbacks = trained.fallbacks
+        self._extractor = FeatureExtractor(self.feature_mode)
+        return self
+
+    # -- persistence ---------------------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the trained model to ``path`` as a versioned artifact."""
+        from repro.core.serialization import save_estimator
+
+        save_estimator(self, path)
+
+    @classmethod
+    def load(cls, path) -> "ResourceEstimator":
+        """Load an artifact written by :meth:`save` (strict on version/corruption)."""
+        from repro.core.serialization import load_estimator
+
+        return load_estimator(path)
+
     # -- batched estimation --------------------------------------------------------------------------
     def estimate_workload(
         self,
@@ -187,13 +241,30 @@ class ResourceEstimator:
         group runs through one vectorised model-selection + MART evaluation.
         """
         plans = list(plans)
+        extracted = [self.extract_plan_features(plan) for plan in plans]
+        return self.estimate_extracted_workload(plans, extracted, resources)
+
+    def estimate_extracted_workload(
+        self,
+        plans: Sequence[QueryPlan],
+        extracted: Sequence[dict],
+        resources: Sequence[str] | None = None,
+    ) -> WorkloadEstimate:
+        """Batch-estimate plans whose features are already extracted.
+
+        ``extracted[i]`` is the :meth:`extract_plan_features` result of
+        ``plans[i]``.  This is the shared tail of the batched path: the
+        serving layer feeds cached extraction results through it, so cached
+        and uncached estimates are identical by construction.
+        """
+        plans = list(plans)
         resources = tuple(resources) if resources is not None else self.resources
         for resource in resources:
             self._check_resource(resource)
 
         groups: dict[OperatorFamily, list[tuple[int, int, dict[str, float]]]] = {}
-        for plan_index, plan in enumerate(plans):
-            for node_id, op_features in self._extractor.extract_plan(plan).items():
+        for plan_index, plan_features in enumerate(extracted):
+            for node_id, op_features in plan_features.items():
                 groups.setdefault(op_features.family, []).append(
                     (plan_index, node_id, op_features.values)
                 )
@@ -215,6 +286,16 @@ class ResourceEstimator:
             plans=plans, resources=resources, operator_estimates=operator_estimates
         )
 
+    def predict_batch(self, plans: Sequence, resource: str = "cpu") -> np.ndarray:
+        """Query-level totals for a list of plans (the Estimator protocol).
+
+        Accepts :class:`~repro.plan.plan.QueryPlan` objects or anything
+        exposing a ``plan`` attribute (e.g. observed queries), so the same
+        call shape works for the experiment harness and for serving.
+        """
+        resolved = [plan.plan if hasattr(plan, "plan") else plan for plan in plans]
+        return self.estimate_workload(resolved, (resource,)).query_totals(resource)
+
     def estimate_feature_rows(
         self,
         family: OperatorFamily,
@@ -223,6 +304,15 @@ class ResourceEstimator:
     ) -> np.ndarray:
         """Batch-estimate already-extracted feature dictionaries of one family."""
         return self._predict_family_rows(family, _family_matrix(family, feature_rows), resource)
+
+    def extract_plan_features(self, plan: QueryPlan):
+        """Per-operator feature vectors of a plan, in this estimator's mode.
+
+        Public so serving layers (e.g. the
+        :class:`~repro.api.EstimationService`) can cache extraction results
+        per plan and feed them back through :meth:`estimate_feature_rows`.
+        """
+        return self._extractor.extract_plan(plan)
 
     # -- scalar estimation (one-row wrappers over the batch path) ------------------------------------
     def estimate_operator(

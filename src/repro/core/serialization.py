@@ -1,23 +1,49 @@
-"""Compact model serialization and memory accounting (paper Section 7.3).
+"""Model persistence: compact size accounting and the full artifact codec.
 
-The paper argues the deployed model collection is small: a single regression
-tree with at most 10 leaves can be encoded in ~130 bytes (child offsets in
-one byte each, one byte for the split feature, 4-byte floats for thresholds
-and leaf estimates), so 1000 boosting iterations fit in ~127 KB and the full
-per-operator model collection in a few megabytes — independent of training
-set or data size.  This module implements exactly that encoding so the
-memory experiment can measure it rather than assert it.
+Two encodings live here, serving two different purposes:
+
+* the **compact encoding** (paper Section 7.3): a single regression tree
+  with at most 10 leaves can be encoded in ~130 bytes (child offsets in one
+  byte each, one byte for the split feature, 4-byte floats for thresholds
+  and leaf estimates), so 1000 boosting iterations fit in ~127 KB and the
+  full per-operator model collection in a few megabytes — independent of
+  training set or data size.  ``serialize_tree`` / ``serialize_mart``
+  implement exactly that encoding so the memory experiment can *measure*
+  the paper's claim rather than assert it;
+
+* the **artifact codec** (train-once / serve-many): a versioned container
+  that round-trips a whole trained :class:`~repro.core.estimator.ResourceEstimator`
+  — every :class:`~repro.core.combined_model.CombinedModel` with its scaling
+  steps, model-selection state (training ranges, default-model designation),
+  the feature mode and the fallback models — at full float64 precision, so a
+  loaded estimator reproduces the in-memory estimator's outputs bit for bit.
+  The artifact starts with a magic string, a format-version header and a
+  CRC-32 of the body; :func:`load_estimator` fails loudly (with
+  :class:`EstimatorCodecError`) on any mismatch instead of serving estimates
+  from a corrupt or incompatible model.
 """
 
 from __future__ import annotations
 
+import json
 import struct
+import zlib
 from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.combined_model import CombinedModel
-from repro.core.trainer import OperatorModelSet
-from repro.ml.mart import MARTRegressor
+from repro.core.scaling import make_scaling_function
+from repro.core.scaled_model import ScalingStep
+from repro.core.trainer import OperatorModelSet, TrainerConfig
+from repro.features.definitions import FeatureMode, OperatorFamily
+from repro.ml.mart import MARTConfig, MARTRegressor
 from repro.ml.regression_tree import RegressionTree, TreeNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.estimator import ResourceEstimator
 
 __all__ = [
     "serialize_tree",
@@ -28,6 +54,15 @@ __all__ = [
     "model_set_size_bytes",
     "estimator_size_bytes",
     "ModelSizeReport",
+    "EstimatorCodecError",
+    "ARTIFACT_MAGIC",
+    "ARTIFACT_VERSION",
+    "pack_envelope",
+    "unpack_envelope",
+    "estimator_to_bytes",
+    "estimator_from_bytes",
+    "save_estimator",
+    "load_estimator",
 ]
 
 #: Node record: child offset (1 byte), split feature (1 byte, 0xFF for leaf),
@@ -52,6 +87,10 @@ def serialize_tree(tree: RegressionTree) -> bytes:
         raise ValueError("cannot serialize an unfitted tree")
     nodes: list[TreeNode] = []
     _flatten(tree.root, nodes)
+    if len(nodes) > 0xFFFF:
+        raise ValueError(
+            f"tree has {len(nodes)} nodes, exceeding the 2-byte node-count limit"
+        )
     index = {id(node): i for i, node in enumerate(nodes)}
     records = bytearray()
     records += struct.pack("<H", len(nodes))
@@ -60,11 +99,20 @@ def serialize_tree(tree: RegressionTree) -> bytes:
             records += struct.pack(_NODE_FORMAT, 0, _LEAF_MARKER, float(node.value))
         else:
             assert node.right is not None
+            if not 0 <= node.feature < _LEAF_MARKER:
+                raise ValueError(
+                    f"split feature index {node.feature} does not fit the 1-byte "
+                    f"encoding (must be in [0, {_LEAF_MARKER - 1}]; "
+                    f"{_LEAF_MARKER:#x} marks a leaf)"
+                )
             # Left child immediately follows its parent in pre-order, so only
             # the right child's offset needs to be stored.
             offset = index[id(node.right)] - i
             if offset > 255:
-                raise ValueError("tree too large for single-byte child offsets")
+                raise ValueError(
+                    f"flattened right-child offset {offset} exceeds the 1-byte "
+                    "limit (255); the tree is too large for the compact encoding"
+                )
             records += struct.pack(_NODE_FORMAT, offset, int(node.feature), float(node.threshold))
     return bytes(records)
 
@@ -154,3 +202,360 @@ class ModelSizeReport:
             total_bytes=int(sum(sizes)),
             largest_single_model_bytes=int(max(sizes)) if sizes else 0,
         )
+
+
+# ---------------------------------------------------------------------------
+# Artifact codec: full round-trip persistence of a trained ResourceEstimator
+# ---------------------------------------------------------------------------
+
+#: Leading magic of every estimator artifact (8 bytes).
+ARTIFACT_MAGIC = b"RPROEST\x00"
+#: Current artifact format version.  Bumped on any incompatible layout change;
+#: :func:`load_estimator` refuses other versions instead of guessing.
+ARTIFACT_VERSION = 1
+
+#: Shared envelope after the magic: format version (u16), CRC-32 of the
+#: body (u32).  Both the native codec and the technique-adapter artifacts
+#: (:mod:`repro.api.adapters`) frame their payload with it.
+_ENVELOPE_HEADER = "<HI"
+_ENVELOPE_HEADER_BYTES = struct.calcsize(_ENVELOPE_HEADER)
+
+#: Full-precision tree node record: split feature (i2, -1 for leaves),
+#: right-child offset (u2), threshold or leaf value (f8).
+_FULL_NODE_FORMAT = "<hHd"
+_FULL_NODE_BYTES = struct.calcsize(_FULL_NODE_FORMAT)
+
+
+class EstimatorCodecError(ValueError):
+    """A model artifact could not be decoded (corrupt, truncated or wrong version)."""
+
+
+def pack_envelope(magic: bytes, version: int, body: bytes) -> bytes:
+    """Frame ``body`` as ``magic + version + crc32(body) + body``."""
+    return magic + struct.pack(_ENVELOPE_HEADER, version, zlib.crc32(body)) + body
+
+
+def unpack_envelope(data: bytes, magic: bytes, version: int, kind: str) -> bytes:
+    """Validate an artifact envelope and return its body (strict).
+
+    Raises :class:`EstimatorCodecError` on a wrong magic, an unsupported
+    format version, or a CRC mismatch (flipped or truncated bytes anywhere
+    in the body).  ``kind`` labels the artifact family in error messages.
+    """
+    prefix = len(magic)
+    if len(data) < prefix + _ENVELOPE_HEADER_BYTES:
+        raise EstimatorCodecError(
+            f"{kind} artifact is truncated ({len(data)} bytes; smaller than the header)"
+        )
+    if data[:prefix] != magic:
+        raise EstimatorCodecError(
+            f"not a repro {kind} artifact (bad magic); refusing to load"
+        )
+    got_version, crc = struct.unpack_from(_ENVELOPE_HEADER, data, prefix)
+    if got_version != version:
+        raise EstimatorCodecError(
+            f"unsupported {kind} artifact format version {got_version}; this build "
+            f"reads version {version} only — retrain and re-save the model"
+        )
+    body = data[prefix + _ENVELOPE_HEADER_BYTES :]
+    if zlib.crc32(body) != crc:
+        raise EstimatorCodecError(
+            f"{kind} artifact checksum mismatch: the file is corrupt or was truncated"
+        )
+    return body
+
+
+def _encode_tree_full(tree: RegressionTree) -> bytes:
+    """Full-precision (float64) encoding of a fitted regression tree."""
+    if tree.root is None:
+        raise ValueError("cannot serialize an unfitted tree")
+    nodes: list[TreeNode] = []
+    _flatten(tree.root, nodes)
+    index = {id(node): i for i, node in enumerate(nodes)}
+    out = bytearray(struct.pack("<I", len(nodes)))
+    for i, node in enumerate(nodes):
+        if node.is_leaf:
+            out += struct.pack(_FULL_NODE_FORMAT, -1, 0, float(node.value))
+        else:
+            assert node.right is not None
+            offset = index[id(node.right)] - i
+            if offset > 0xFFFF:
+                raise ValueError("tree too large for the artifact encoding")
+            out += struct.pack(_FULL_NODE_FORMAT, int(node.feature), offset, float(node.threshold))
+    return bytes(out)
+
+
+def _decode_tree_full(data: bytes, pos: int) -> tuple[RegressionTree, int]:
+    """Decode one full-precision tree starting at ``pos``; returns (tree, new pos).
+
+    Structural validation is strict: out-of-range child indices raise
+    :class:`EstimatorCodecError` (a CRC-valid artifact can still be
+    malformed if it was produced by a broken encoder).
+    """
+    (n_nodes,) = struct.unpack_from("<I", data, pos)
+    if n_nodes == 0:
+        raise EstimatorCodecError("tree record with zero nodes")
+    pos += 4
+    records = []
+    for i in range(n_nodes):
+        records.append(struct.unpack_from(_FULL_NODE_FORMAT, data, pos + i * _FULL_NODE_BYTES))
+    pos += n_nodes * _FULL_NODE_BYTES
+
+    def build(index: int) -> tuple[TreeNode, int]:
+        if index >= n_nodes:
+            raise EstimatorCodecError("tree record references a node past the end")
+        feature, offset, value = records[index]
+        if feature < 0:
+            return TreeNode(value=float(value)), index + 1
+        if offset < 2:  # left subtree holds at least one node between parent and right child
+            raise EstimatorCodecError(f"invalid right-child offset {offset} in tree record")
+        left, _ = build(index + 1)
+        right, next_index = build(index + offset)
+        return (
+            TreeNode(value=0.0, feature=int(feature), threshold=float(value),
+                     left=left, right=right),
+            next_index,
+        )
+
+    root, _ = build(0)
+    tree = RegressionTree()
+    tree.root = root
+    return tree, pos
+
+
+def _encode_mart_full(model: MARTRegressor) -> bytes:
+    """Full-precision encoding of a fitted MART ensemble (weights only).
+
+    Hyper-parameters (including the learning rate the prediction path needs)
+    travel in the JSON metadata as a complete :class:`MARTConfig`.
+    """
+    if model.n_features_ is None or model.feature_range_ is None:
+        raise ValueError("cannot serialize an unfitted MART model")
+    lows, highs = model.feature_range_
+    out = bytearray(
+        struct.pack("<dII", float(model.initial_prediction_), model.n_features_, len(model.trees_))
+    )
+    out += np.asarray(lows, dtype="<f8").tobytes()
+    out += np.asarray(highs, dtype="<f8").tobytes()
+    for tree in model.trees_:
+        out += _encode_tree_full(tree)
+    return bytes(out)
+
+
+def _decode_mart_full(data: bytes, config: MARTConfig) -> MARTRegressor:
+    """Decode a MART ensemble encoded by :func:`_encode_mart_full`."""
+    initial, n_features, n_trees = struct.unpack_from("<dII", data, 0)
+    pos = struct.calcsize("<dII")
+    lows = np.frombuffer(data, dtype="<f8", count=n_features, offset=pos).copy()
+    pos += 8 * n_features
+    highs = np.frombuffer(data, dtype="<f8", count=n_features, offset=pos).copy()
+    pos += 8 * n_features
+    model = MARTRegressor(config)
+    model.initial_prediction_ = float(initial)
+    model.n_features_ = int(n_features)
+    model.feature_range_ = (lows, highs)
+    model.trees_ = []
+    for _ in range(n_trees):
+        tree, pos = _decode_tree_full(data, pos)
+        tree.n_features_ = int(n_features)
+        model.trees_.append(tree)
+    if pos != len(data):
+        raise EstimatorCodecError("trailing bytes after MART ensemble payload")
+    return model
+
+
+def _mart_config_record(config: MARTConfig) -> dict:
+    return {
+        "n_iterations": config.n_iterations,
+        "max_leaves": config.max_leaves,
+        "learning_rate": config.learning_rate,
+        "subsample": config.subsample,
+        "min_samples_leaf": config.min_samples_leaf,
+        "random_seed": config.random_seed,
+    }
+
+
+def _trainer_config_record(config: TrainerConfig | None) -> dict | None:
+    if config is None:
+        return None
+    return {
+        "mart": _mart_config_record(config.mart),
+        "min_training_rows": config.min_training_rows,
+        "max_pair_models": config.max_pair_models,
+        "enable_pair_scaling": config.enable_pair_scaling,
+    }
+
+
+def _trainer_config_from_record(record: dict | None) -> TrainerConfig | None:
+    if record is None:
+        return None
+    return TrainerConfig(
+        mart=MARTConfig(**record["mart"]),
+        min_training_rows=record["min_training_rows"],
+        max_pair_models=record["max_pair_models"],
+        enable_pair_scaling=record["enable_pair_scaling"],
+    )
+
+
+def _combined_model_record(model: CombinedModel, payload: bytearray) -> dict:
+    """Append the model's MART weights to ``payload``; return its JSON record."""
+    if model.model_ is None:
+        raise ValueError(f"cannot serialize untrained combined model {model.name}")
+    blob = _encode_mart_full(model.model_)
+    offset = len(payload)
+    payload += blob
+    return {
+        "feature_names": list(model.feature_names),
+        "steps": [
+            {"feature": step.feature, "function": step.function.name}
+            for step in model.steps
+        ],
+        "mart_config": _mart_config_record(model.mart_config),
+        "training_low": model.training_low_,
+        "training_high": model.training_high_,
+        "training_error": model.training_error_,
+        "n_training_rows": model.n_training_rows_,
+        "scaled_target_low": model.scaled_target_low_,
+        "scaled_target_high": model.scaled_target_high_,
+        "blob_offset": offset,
+        "blob_length": len(blob),
+    }
+
+
+def _combined_model_from_record(
+    record: dict, family: OperatorFamily, resource: str, payload: bytes
+) -> CombinedModel:
+    steps = tuple(
+        ScalingStep(feature=s["feature"], function=make_scaling_function(s["function"]))
+        for s in record["steps"]
+    )
+    model = CombinedModel(
+        family=family,
+        resource=resource,
+        feature_names=tuple(record["feature_names"]),
+        steps=steps,
+        mart_config=MARTConfig(**record["mart_config"]),
+    )
+    start, length = record["blob_offset"], record["blob_length"]
+    if start < 0 or start + length > len(payload):
+        raise EstimatorCodecError("model weight blob lies outside the artifact payload")
+    model.model_ = _decode_mart_full(payload[start : start + length], model.mart_config)
+    model.training_low_ = {k: float(v) for k, v in record["training_low"].items()}
+    model.training_high_ = {k: float(v) for k, v in record["training_high"].items()}
+    model.training_error_ = float(record["training_error"])
+    model.n_training_rows_ = int(record["n_training_rows"])
+    model.scaled_target_low_ = float(record["scaled_target_low"])
+    model.scaled_target_high_ = float(record["scaled_target_high"])
+    return model
+
+
+def estimator_to_bytes(estimator: "ResourceEstimator") -> bytes:
+    """Serialize a trained ResourceEstimator into a versioned artifact."""
+    payload = bytearray()
+    model_sets = []
+    for (family, resource), model_set in estimator.model_sets.items():
+        records = [_combined_model_record(model, payload) for model in model_set.models]
+        try:
+            default_index = next(
+                i for i, m in enumerate(model_set.models) if m is model_set.default_model
+            )
+        except StopIteration:
+            # Degenerate (hand-built) set whose default is not among models.
+            records.append(_combined_model_record(model_set.default_model, payload))
+            default_index = len(records) - 1
+        model_sets.append(
+            {
+                "family": family.value,
+                "resource": resource,
+                "default_index": default_index,
+                "models": records,
+            }
+        )
+    header = {
+        "format": "repro-estimator",
+        "feature_mode": estimator.feature_mode.value,
+        "resources": list(estimator.resources),
+        "fallbacks": {
+            resource: fallback.per_tuple
+            for resource, fallback in estimator.fallbacks.items()
+        },
+        "trainer_config": _trainer_config_record(estimator.trainer_config),
+        "model_sets": model_sets,
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    body = struct.pack("<I", len(header_bytes)) + header_bytes + bytes(payload)
+    return pack_envelope(ARTIFACT_MAGIC, ARTIFACT_VERSION, body)
+
+
+def estimator_from_bytes(data: bytes) -> "ResourceEstimator":
+    """Reconstruct a ResourceEstimator from artifact bytes (strict, versioned).
+
+    Raises :class:`EstimatorCodecError` on a wrong magic, an unsupported
+    format version, a CRC mismatch (flipped or truncated bytes anywhere in
+    the body) or a structurally invalid metadata section.
+    """
+    from repro.core.estimator import ResourceEstimator, _FallbackModel
+
+    body = unpack_envelope(data, ARTIFACT_MAGIC, ARTIFACT_VERSION, "estimator")
+    if len(body) < 4:
+        raise EstimatorCodecError("artifact body is truncated")
+    (header_len,) = struct.unpack_from("<I", body, 0)
+    if header_len > len(body) - 4:
+        raise EstimatorCodecError("artifact metadata length exceeds the body size")
+    try:
+        header = json.loads(body[4 : 4 + header_len].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise EstimatorCodecError(f"invalid artifact metadata: {exc}") from exc
+    if header.get("format") != "repro-estimator":
+        raise EstimatorCodecError("artifact metadata does not describe an estimator")
+    payload = body[4 + header_len :]
+
+    try:
+        estimator = ResourceEstimator(
+            feature_mode=FeatureMode(header["feature_mode"]),
+            resources=tuple(header["resources"]),
+            trainer_config=_trainer_config_from_record(header.get("trainer_config")),
+        )
+        for resource, per_tuple in header["fallbacks"].items():
+            estimator.fallbacks[resource] = _FallbackModel(per_tuple=float(per_tuple))
+        for set_record in header["model_sets"]:
+            family = OperatorFamily(set_record["family"])
+            resource = set_record["resource"]
+            models = [
+                _combined_model_from_record(record, family, resource, payload)
+                for record in set_record["models"]
+            ]
+            default_index = int(set_record["default_index"])
+            if not 0 <= default_index < len(models):
+                raise EstimatorCodecError(
+                    f"default model index {default_index} out of range for "
+                    f"{family.value}/{resource}"
+                )
+            estimator.model_sets[(family, resource)] = OperatorModelSet(
+                family=family,
+                resource=resource,
+                models=models,
+                default_model=models[default_index],
+            )
+    except EstimatorCodecError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError, struct.error, RecursionError) as exc:
+        raise EstimatorCodecError(f"structurally invalid artifact: {exc}") from exc
+    return estimator
+
+
+def save_estimator(estimator: "ResourceEstimator", path: str | Path) -> Path:
+    """Write a trained estimator to ``path`` as a versioned artifact."""
+    path = Path(path)
+    path.write_bytes(estimator_to_bytes(estimator))
+    return path
+
+
+def load_estimator(path: str | Path) -> "ResourceEstimator":
+    """Load an estimator artifact written by :func:`save_estimator` (strict)."""
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise EstimatorCodecError(f"cannot read artifact {path}: {exc}") from exc
+    return estimator_from_bytes(data)

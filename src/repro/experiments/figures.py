@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import MARTBaseline, OptimizerBaseline, ScalingTechnique
+from repro.api.registry import make_technique
 from repro.core.scaling import (
     SCALING_FUNCTIONS,
     TWO_INPUT_SCALING_FUNCTIONS,
@@ -51,7 +51,7 @@ def figure_1(config: ExperimentConfig | None = None) -> ResultSeries:
     train, test = split_workload(workload, config.train_fraction, seed=config.seed)
     queries = [q for q in test if _near_exact_cardinalities(q, tolerance=0.25)] or list(test)
 
-    opt = OptimizerBaseline().fit(train, "cpu", FeatureMode.ESTIMATED)
+    opt = make_technique("opt").fit(train, "cpu", FeatureMode.ESTIMATED)
     estimates = opt.predict_queries(queries)
     actuals = np.array([q.total_cpu_us for q in queries])
     result = ResultSeries(
@@ -81,7 +81,7 @@ def figure_2(config: ExperimentConfig | None = None) -> ResultSeries:
     config = config or get_config()
     workload = cfg.tpch_workload(config)
     train, test = split_workload(workload, config.train_fraction, seed=config.seed)
-    technique = ScalingTechnique(trainer_config=TrainerConfig(mart=config.mart))
+    technique = make_technique("scaling", trainer_config=TrainerConfig(mart=config.mart))
     technique.fit(train, "cpu", FeatureMode.EXACT)
     estimates = technique.predict_queries(test)
     actuals = np.array([q.total_cpu_us for q in test])
@@ -128,9 +128,9 @@ def _scan_extrapolation(
         y_label="estimated scan CPU time (us)",
     )
     if use_scaling:
-        technique = ScalingTechnique(trainer_config=TrainerConfig(mart=config.mart))
+        technique = make_technique("scaling", trainer_config=TrainerConfig(mart=config.mart))
     else:
-        technique = MARTBaseline(mart_config=config.mart)
+        technique = make_technique("mart", mart_config=config.mart)
     # Train on *scan operators from small databases only*: wrap them into
     # pseudo-queries is unnecessary — both techniques accept query lists, so
     # build single-operator views by filtering at prediction time instead.

@@ -22,9 +22,14 @@ import numpy as np
 from repro.catalog.statistics import StatisticsCatalog
 from repro.catalog.tpch import build_tpch_catalog
 from repro.core.estimator import ResourceEstimator
-from repro.core.serialization import ModelSizeReport, mart_size_bytes, serialize_tree
+from repro.core.serialization import (
+    ModelSizeReport,
+    estimator_to_bytes,
+    mart_size_bytes,
+    serialize_tree,
+)
 from repro.core.trainer import TrainerConfig
-from repro.baselines import ScalingTechnique
+from repro.api.registry import make_technique
 from repro.experiments import config as cfg
 from repro.experiments.config import ExperimentConfig, get_config
 from repro.experiments.reporting import ResultTable
@@ -252,9 +257,10 @@ def model_memory(config: ExperimentConfig | None = None) -> ResultTable:
     # Size of the full trained SCALING model collection.
     workload = cfg.tpch_workload(config)
     train, _ = split_workload(workload, config.train_fraction, seed=config.seed)
-    technique = ScalingTechnique(trainer_config=TrainerConfig(mart=config.mart))
+    technique = make_technique("scaling", trainer_config=TrainerConfig(mart=config.mart))
     technique.fit(train, "cpu", FeatureMode.EXACT)
     report = ModelSizeReport.for_estimator(technique.estimator)
+    artifact_bytes = len(estimator_to_bytes(technique.estimator))
 
     table = ResultTable(
         experiment_id="Model memory",
@@ -267,6 +273,9 @@ def model_memory(config: ExperimentConfig | None = None) -> ResultTable:
     table.add_row(Quantity="SCALING model sets (count)", Value=report.n_model_sets)
     table.add_row(Quantity="SCALING models (count)", Value=report.n_models)
     table.add_row(Quantity="SCALING total size (KB)", Value=round(report.total_bytes / 1024.0, 1))
+    table.add_row(
+        Quantity="Full-precision artifact (KB)", Value=round(artifact_bytes / 1024.0, 1)
+    )
     table.notes = (
         "The paper derives <=130 bytes per tree, <=127KB per 1000-tree model and a few MB "
         "for the full collection; sizes are independent of the training-set and data size."

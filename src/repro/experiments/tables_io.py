@@ -7,12 +7,7 @@ of [8], LINEAR, SVM with the RBF kernel, and SCALING.
 
 from __future__ import annotations
 
-from repro.baselines import (
-    AkdereOperatorBaseline,
-    LinearBaseline,
-    ScalingTechnique,
-    SVMBaseline,
-)
+from repro.api.registry import make_technique
 from repro.baselines.base import BaselineEstimator
 from repro.core.trainer import TrainerConfig
 from repro.experiments import config as cfg
@@ -30,10 +25,10 @@ _IO_COLUMNS = ["Technique", "Test Set", "L1", "R<=1.5", "R in [1.5,2]", "R>2"]
 def _io_techniques(config: ExperimentConfig) -> list[BaselineEstimator]:
     """The four techniques the paper reports for I/O estimation."""
     return [
-        AkdereOperatorBaseline(),
-        LinearBaseline(),
-        SVMBaseline(kernel="rbf", gamma=0.05),
-        ScalingTechnique(trainer_config=TrainerConfig(mart=config.mart)),
+        make_technique("akdere"),
+        make_technique("linear"),
+        make_technique("svm", kernel="rbf", gamma=0.05),
+        make_technique("scaling", trainer_config=TrainerConfig(mart=config.mart)),
     ]
 
 

@@ -41,17 +41,36 @@ class TransformConfig:
 
 
 class _LinearLeafStage:
-    """One boosting stage: a tree whose leaves hold one-feature linear models."""
+    """One boosting stage: a tree whose leaves hold one-feature linear models.
+
+    Leaf models are keyed by the leaf's *pre-order position* among the tree's
+    leaves (not by ``id(node)``), so a stage survives serialization — object
+    identities change across a pickle round-trip, stable positions don't.
+    """
 
     def __init__(self, tree: RegressionTree, leaf_models: dict[int, tuple[int, LinearRegressor]]):
         self.tree = tree
         self.leaf_models = leaf_models
 
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_leaf_positions", None)  # id-keyed cache; rebuilt on demand
+        return state
+
+    def _positions(self) -> dict[int, int]:
+        cached = getattr(self, "_leaf_positions", None)
+        if cached is None:
+            assert self.tree.root is not None
+            cached = {id(leaf): i for i, leaf in enumerate(self.tree.root.leaves())}
+            self._leaf_positions = cached
+        return cached
+
     def predict(self, features: np.ndarray) -> np.ndarray:
+        positions = self._positions()
         out = np.empty(features.shape[0], dtype=np.float64)
         for i in range(features.shape[0]):
             leaf = self._leaf_for(features[i])
-            model = self.leaf_models.get(id(leaf))
+            model = self.leaf_models.get(positions[id(leaf)])
             if model is None:
                 out[i] = leaf.value
             else:
@@ -111,11 +130,13 @@ class TransformRegressor:
         tree = RegressionTree(max_leaves=cfg.max_leaves, min_samples_leaf=cfg.min_samples_leaf)
         tree.fit(features, residuals)
         # Assign rows to leaves, then fit the best single-feature linear model
-        # per leaf.
+        # per leaf (keyed by stable pre-order leaf position).
+        assert tree.root is not None
+        positions = {id(leaf): i for i, leaf in enumerate(tree.root.leaves())}
         leaf_rows: dict[int, list[int]] = {}
         for i in range(features.shape[0]):
             leaf = self._leaf_for(tree, features[i])
-            leaf_rows.setdefault(id(leaf), []).append(i)
+            leaf_rows.setdefault(positions[id(leaf)], []).append(i)
         leaf_models: dict[int, tuple[int, LinearRegressor]] = {}
         for leaf_id, rows in leaf_rows.items():
             rows_arr = np.asarray(rows)

@@ -1,0 +1,282 @@
+"""Tests for the unified Estimator protocol, registry and EstimationService."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    EstimationService,
+    Estimator,
+    TechniqueAdapter,
+    TrainingCorpus,
+    available_estimators,
+    featureize_plan,
+    load_artifact,
+    make_estimator,
+    make_technique,
+)
+from repro.api.adapters import ADAPTER_MAGIC
+from repro.api.registry import DEFAULT_LINEUP, get_spec, standard_lineup
+from repro.baselines import standard_techniques
+from repro.core import ResourceEstimator
+from repro.core.serialization import EstimatorCodecError
+from repro.features.definitions import FeatureMode
+from repro.ml.mart import MARTConfig
+from repro.ml.transform_regression import TransformConfig
+
+
+@pytest.fixture(scope="module")
+def corpus(workload_split):
+    train, _ = workload_split
+    return TrainingCorpus(queries=tuple(train), mode=FeatureMode.EXACT, resources=("cpu",))
+
+
+@pytest.fixture(scope="module")
+def test_queries_and_plans(workload_split):
+    _, test = workload_split
+    return test, [q.plan for q in test]
+
+
+class TestRegistry:
+    def test_all_techniques_registered(self):
+        assert set(available_estimators()) == {
+            "opt", "akdere", "linear", "mart", "svm", "regtree", "scaling",
+        }
+        assert tuple(DEFAULT_LINEUP) == (
+            "opt", "akdere", "linear", "mart", "svm", "regtree", "scaling",
+        )
+
+    def test_unknown_key_lists_known_keys(self):
+        with pytest.raises(KeyError, match="scaling"):
+            make_technique("gradient_descent")
+        with pytest.raises(KeyError):
+            get_spec("")
+
+    def test_make_technique_passes_options(self):
+        svm = make_technique("svm", kernel="rbf", gamma=0.05)
+        assert svm.name == "SVM(RBF)"
+        mart = make_technique("mart", mart_config=MARTConfig(n_iterations=7))
+        assert mart.mart_config.n_iterations == 7
+
+    def test_standard_techniques_routes_through_registry(self):
+        """The harness line-up and the registry line-up are the same objects."""
+        config = MARTConfig(n_iterations=5)
+        names = [t.name for t in standard_techniques(mart_config=config)]
+        assert names == [t.name for t in standard_lineup(mart_config=config)]
+        assert names == ["OPT", "[8]", "LINEAR", "MART", "SVM(POLY)", "REGTREE", "SCALING"]
+
+    def test_every_key_constructs_protocol_estimator(self):
+        for key in available_estimators():
+            estimator = make_estimator(key)
+            assert isinstance(estimator, Estimator), key
+            assert isinstance(estimator.name, str) and estimator.name
+
+    def test_scaling_estimator_is_native(self):
+        assert isinstance(make_estimator("scaling"), ResourceEstimator)
+
+
+class TestTrainingCorpus:
+    def test_from_workload(self, small_workload):
+        corpus = TrainingCorpus.from_workload(small_workload, resources=("cpu",))
+        assert corpus.n_queries == len(small_workload.queries)
+        assert corpus.n_operators == sum(len(q.operators) for q in small_workload)
+        assert corpus.name == small_workload.name
+
+    def test_requires_a_resource(self, workload_split):
+        train, _ = workload_split
+        with pytest.raises(ValueError):
+            TrainingCorpus(queries=tuple(train), resources=())
+
+
+class TestFeatureizePlan:
+    def test_matches_observed_features(self, workload_split):
+        """Featureised plans carry the same features the runner observed."""
+        _, test = workload_split
+        observed = test[0]
+        virtual = featureize_plan(observed.plan)
+        assert len(virtual.operators) == len(observed.operators)
+        by_node = {op.node_id: op for op in observed.operators}
+        for op in virtual.operators:
+            assert op.exact_features == by_node[op.node_id].exact_features
+            assert op.estimated_features == by_node[op.node_id].estimated_features
+            assert op.actual_cpu_us == 0.0 and op.actual_logical_io == 0.0
+
+
+class TestTechniqueAdapter:
+    @pytest.fixture(scope="class")
+    def fitted_linear(self, corpus):
+        return make_estimator("linear").fit(corpus)
+
+    def test_predicts_like_underlying_baseline(self, corpus, test_queries_and_plans):
+        test, _ = test_queries_and_plans
+        adapter = make_estimator("opt").fit(corpus)
+        direct = make_technique("opt").fit(list(corpus.queries), "cpu", corpus.mode)
+        assert np.array_equal(adapter.predict_batch(test, "cpu"), direct.predict_queries(test))
+
+    def test_accepts_bare_plans(self, fitted_linear, test_queries_and_plans):
+        test, plans = test_queries_and_plans
+        from_queries = fitted_linear.predict_batch(test, "cpu")
+        from_plans = fitted_linear.predict_batch(plans, "cpu")
+        # Observed queries list operators in execution order, featureised
+        # plans in pre-order; summation order differs by at most rounding.
+        assert from_plans == pytest.approx(from_queries, rel=1e-12)
+        assert np.all(np.isfinite(from_plans)) and np.all(from_plans >= 0.0)
+
+    def test_unfitted_resource_rejected(self, fitted_linear, test_queries_and_plans):
+        _, plans = test_queries_and_plans
+        with pytest.raises(RuntimeError, match="io"):
+            fitted_linear.predict_batch(plans, "io")
+
+    @pytest.mark.parametrize(
+        "key,options",
+        [
+            ("linear", {}),
+            ("opt", {}),
+            ("mart", {"mart_config": MARTConfig(n_iterations=10, max_leaves=6)}),
+            ("regtree", {"config": TransformConfig(n_iterations=8, max_leaves=4)}),
+        ],
+    )
+    def test_save_load_round_trip(self, corpus, test_queries_and_plans, tmp_path, key, options):
+        """Loaded adapters serve identical estimates (incl. REGTREE leaf models)."""
+        _, plans = test_queries_and_plans
+        adapter = make_estimator(key, **options).fit(corpus)
+        before = adapter.predict_batch(plans, "cpu")
+        path = tmp_path / f"{key}.bin"
+        adapter.save(path)
+        restored = TechniqueAdapter.load(path)
+        assert restored.name == adapter.name
+        assert restored.resources == ("cpu",)
+        assert np.array_equal(restored.predict_batch(plans, "cpu"), before)
+
+    def test_load_dispatch(self, corpus, trained_estimator, tmp_path):
+        """load_artifact routes on magic bytes: native codec vs adapter pickle."""
+        adapter_path = tmp_path / "adapter.bin"
+        make_estimator("opt").fit(corpus).save(adapter_path)
+        native_path = tmp_path / "native.bin"
+        trained_estimator.save(native_path)
+        assert isinstance(load_artifact(adapter_path), TechniqueAdapter)
+        assert isinstance(load_artifact(native_path), ResourceEstimator)
+        junk = tmp_path / "junk.bin"
+        junk.write_bytes(b"\x01" * 32)
+        with pytest.raises(EstimatorCodecError):
+            load_artifact(junk)
+        # Missing files surface as codec errors too, on every load entry point.
+        with pytest.raises(EstimatorCodecError):
+            load_artifact(tmp_path / "missing.bin")
+        with pytest.raises(EstimatorCodecError):
+            TechniqueAdapter.load(tmp_path / "missing.bin")
+
+    def test_unregistered_key_fails_as_codec_error(self, corpus, tmp_path):
+        """An artifact naming an unknown registry key raises the documented
+        EstimatorCodecError, not a bare KeyError."""
+        import pickle
+
+        from repro.core.serialization import pack_envelope
+        from repro.api.adapters import ADAPTER_VERSION
+
+        payload = pickle.dumps(
+            {"key": "no_such_technique", "options": {}, "name": "X",
+             "mode": "exact", "resources": ("cpu",), "fitted": {}},
+        )
+        path = tmp_path / "unknown.bin"
+        path.write_bytes(pack_envelope(ADAPTER_MAGIC, ADAPTER_VERSION, payload))
+        with pytest.raises(EstimatorCodecError, match="not registered"):
+            TechniqueAdapter.load(path)
+
+    def test_corrupt_adapter_artifact_rejected(self, corpus, tmp_path):
+        path = tmp_path / "adapter.bin"
+        make_estimator("opt").fit(corpus).save(path)
+        data = bytearray(path.read_bytes())
+        assert data.startswith(ADAPTER_MAGIC)
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(EstimatorCodecError):
+            TechniqueAdapter.load(path)
+
+
+class TestResourceEstimatorProtocol:
+    def test_satisfies_protocol(self, trained_estimator):
+        assert isinstance(trained_estimator, Estimator)
+        assert trained_estimator.name == "SCALING"
+
+    def test_fit_from_corpus(self, workload_split, tiny_trainer_config, test_queries_and_plans):
+        train, _ = workload_split
+        _, plans = test_queries_and_plans
+        corpus = TrainingCorpus(queries=tuple(train), resources=("cpu",))
+        estimator = ResourceEstimator(trainer_config=tiny_trainer_config).fit(corpus)
+        assert estimator.resources == ("cpu",)
+        totals = estimator.predict_batch(plans, "cpu")
+        assert totals.shape == (len(plans),)
+        assert np.all(totals >= 0.0)
+
+    def test_predict_batch_matches_estimate_workload(
+        self, trained_estimator, test_queries_and_plans
+    ):
+        test, plans = test_queries_and_plans
+        expected = trained_estimator.estimate_workload(plans, ("cpu",)).query_totals("cpu")
+        assert np.array_equal(trained_estimator.predict_batch(plans, "cpu"), expected)
+        # Observed queries are unwrapped to their plans.
+        assert np.array_equal(trained_estimator.predict_batch(test, "cpu"), expected)
+
+
+class TestEstimationService:
+    def test_parity_with_estimator(self, trained_estimator, test_queries_and_plans):
+        """Cached or not, the service must be bit-identical to the estimator."""
+        _, plans = test_queries_and_plans
+        service = EstimationService(trained_estimator)
+        for _ in range(2):  # second pass is fully cache-hit
+            served = service.estimate_workload(plans)
+            direct = trained_estimator.estimate_workload(plans)
+            for resource in trained_estimator.resources:
+                assert np.array_equal(
+                    served.query_totals(resource), direct.query_totals(resource)
+                )
+                for index in range(len(plans)):
+                    assert served.operators(index, resource) == direct.operators(
+                        index, resource
+                    )
+
+    def test_cache_statistics(self, trained_estimator, test_queries_and_plans):
+        _, plans = test_queries_and_plans
+        service = EstimationService(trained_estimator)
+        service.estimate_workload(plans)
+        assert service.stats.cache_misses == len(plans)
+        assert service.stats.cache_hits == 0
+        service.estimate_workload(plans)
+        assert service.stats.cache_hits == len(plans)
+        assert service.stats.plans_served == 2 * len(plans)
+        assert service.stats.workloads_served == 2
+        assert service.stats.hit_rate == pytest.approx(0.5)
+
+    def test_cache_eviction_is_bounded(self, trained_estimator, test_queries_and_plans):
+        _, plans = test_queries_and_plans
+        service = EstimationService(trained_estimator, cache_size=2)
+        service.estimate_workload(plans)
+        assert len(service._feature_cache) <= 2
+        service.clear_cache()
+        assert len(service._feature_cache) == 0
+
+    def test_estimate_query(self, trained_estimator, test_queries_and_plans):
+        _, plans = test_queries_and_plans
+        service = EstimationService(trained_estimator)
+        assert service.estimate_query(plans[0], "cpu") == pytest.approx(
+            trained_estimator.estimate_plan(plans[0], "cpu")
+        )
+
+    def test_from_artifact(self, trained_estimator, test_queries_and_plans, tmp_path):
+        _, plans = test_queries_and_plans
+        path = tmp_path / "model.bin"
+        trained_estimator.save(path)
+        service = EstimationService.from_artifact(path)
+        assert service.resources == trained_estimator.resources
+        served = service.estimate_workload(plans, ("cpu",)).query_totals("cpu")
+        direct = trained_estimator.estimate_workload(plans, ("cpu",)).query_totals("cpu")
+        assert np.array_equal(served, direct)
+        report = service.model_size_report()
+        assert report.n_model_sets == len(trained_estimator.model_sets)
+
+    def test_rejects_non_native_estimator(self, corpus):
+        adapter = make_estimator("opt")
+        with pytest.raises(TypeError):
+            EstimationService(adapter)

@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.cli import build_parser, main
+from repro import __version__
+from repro.cli import build_parser, main, train_scaling_estimator
+from repro.core.serialization import load_estimator
+from repro.experiments.config import get_config
 from repro.experiments.registry import EXPERIMENTS
 
 
@@ -30,18 +34,39 @@ class TestParser:
         assert args.queries == 250
         assert args.resource == "io"
         assert args.seed == 3
+        assert args.model is None
 
     def test_estimate_defaults(self):
         args = build_parser().parse_args(["estimate"])
         assert args.queries == 100
         assert args.resource == "both"
 
-    def test_missing_command_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+    def test_train_command_parses(self, tmp_path):
+        args = build_parser().parse_args(
+            ["train", "--out", str(tmp_path / "m.bin"), "--queries", "48"]
+        )
+        assert args.command == "train"
+        assert args.queries == 48
+
+    def test_models_inspect_parses(self, tmp_path):
+        args = build_parser().parse_args(["models", "inspect", str(tmp_path / "m.bin")])
+        assert args.command == "models"
+        assert args.models_command == "inspect"
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
 
 class TestMain:
+    def test_no_command_returns_2_with_usage(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "subcommand is required" in err
+
     def test_list_prints_every_experiment(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
@@ -59,3 +84,118 @@ class TestMain:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "table_99"])
+
+    def test_models_without_subcommand_returns_2(self, capsys):
+        assert main(["models"]) == 2
+        assert "models inspect" in capsys.readouterr().err
+
+    def test_train_rejects_unwritable_output_before_training(self, capsys, tmp_path):
+        blocker = tmp_path / "not_a_dir"
+        blocker.write_text("plain file")
+        target = blocker / "model.bin"  # parent is a file -> mkdir fails fast
+        assert main(["train", "--out", str(target), "--queries", "8"]) == 2
+        assert "cannot write artifact" in capsys.readouterr().err
+
+    def test_models_inspect_rejects_corrupt_file(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.bin"
+        bogus.write_bytes(b"\x00" * 32)
+        assert main(["models", "inspect", str(bogus)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_models_inspect_rejects_pickle_artifacts_without_unpickling(
+        self, capsys, tmp_path
+    ):
+        """Adapter artifacts are refused on magic alone — the embedded pickle
+        must never be deserialised by the CLI."""
+        from repro.api.adapters import ADAPTER_MAGIC
+
+        path = tmp_path / "adapter.bin"
+        # Deliberately not a valid envelope: if the CLI tried to parse or
+        # unpickle it, the error text would differ.
+        path.write_bytes(ADAPTER_MAGIC + b"\x01\x02\x03")
+        assert main(["models", "inspect", str(path)]) == 2
+        assert "pickled baseline technique" in capsys.readouterr().err
+
+
+class TestTrainServeWorkflow:
+    """train --out, then estimate --model: serve without retraining, exactly."""
+
+    # --profile is pinned so the suite is immune to a REPRO_PROFILE env var.
+    _TRAIN_ARGS = [
+        "--queries", "48", "--iterations", "12", "--train-seed", "7",
+        "--profile", "fast",
+    ]
+
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "model.bin"
+        assert main(["train", "--out", str(path), *self._TRAIN_ARGS]) == 0
+        return path
+
+    def test_train_reports_artifact(self, artifact, capsys):
+        assert artifact.exists() and artifact.stat().st_size > 0
+
+    def test_models_inspect_reports_size(self, artifact, capsys):
+        assert main(["models", "inspect", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "format version: 1" in out
+        assert "resources: cpu, io" in out
+        assert "model sets:" in out
+
+    def test_estimate_from_artifact_serves_without_retraining(self, artifact, capsys):
+        assert main(
+            ["estimate", "--model", str(artifact), "--queries", "12", "--show", "3",
+             "--profile", "fast"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "no retraining" in out
+        assert "workload total (cpu):" in out
+        assert "workload total (io):" in out
+
+    def test_artifact_matches_in_memory_estimator_exactly(self, artifact):
+        """The acceptance property: loaded artifact == freshly trained model."""
+        config = get_config("fast")
+        in_memory = train_scaling_estimator(
+            config, ("cpu", "io"), n_queries=48, seed=7, iterations=12
+        )
+        loaded = load_estimator(artifact)
+        from repro.catalog.statistics import StatisticsCatalog
+        from repro.catalog.tpch import build_tpch_catalog
+        from repro.optimizer.planner import Planner
+        from repro.query.tpch_templates import tpch_template_set
+
+        catalog = build_tpch_catalog(scale_factor=0.1, skew_z=config.tpch_skew)
+        planner = Planner(catalog, StatisticsCatalog(catalog))
+        queries = tpch_template_set().generate(catalog, 10, seed=23)
+        plans = [planner.plan(query) for query in queries]
+        for resource in ("cpu", "io"):
+            assert np.array_equal(
+                loaded.estimate_workload(plans, (resource,)).query_totals(resource),
+                in_memory.estimate_workload(plans, (resource,)).query_totals(resource),
+            )
+
+    def test_estimate_with_missing_resource_rejected(self, tmp_path, capsys):
+        path = tmp_path / "cpu_only.bin"
+        assert main(
+            ["train", "--out", str(path), "--resource", "cpu", *self._TRAIN_ARGS]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["estimate", "--model", str(path), "--resource", "io", "--profile", "fast"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_estimate_both_on_partial_artifact_notes_missing_resource(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "cpu_only.bin"
+        assert main(
+            ["train", "--out", str(path), "--resource", "cpu", *self._TRAIN_ARGS]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["estimate", "--model", str(path), "--queries", "6", "--profile", "fast"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "artifact models cpu only" in out
+        assert "workload total (io)" not in out
