@@ -25,6 +25,8 @@ Typical workflow::
     estimate = service.estimate_workload(plans)              # serves many
 """
 
+from typing import TYPE_CHECKING
+
 from repro.api.adapters import TechniqueAdapter, featureize_plan
 from repro.api.protocol import Estimator, TrainingCorpus
 from repro.api.registry import (
@@ -43,6 +45,11 @@ from repro.core.serialization import (
     EstimatorCodecError,
     load_estimator as load_native_estimator,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+    from repro.core.estimator import ResourceEstimator
 
 __all__ = [
     "Estimator",
@@ -64,7 +71,7 @@ __all__ = [
 ]
 
 
-def load_artifact(path):
+def load_artifact(path: "str | Path") -> "ResourceEstimator | TechniqueAdapter":
     """Load any estimator artifact, dispatching on the leading magic bytes.
 
     Native :class:`~repro.core.estimator.ResourceEstimator` artifacts load

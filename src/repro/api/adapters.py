@@ -19,12 +19,14 @@ protocol natively with the pickle-free codec in
 :mod:`repro.core.serialization`.
 """
 
+# repro: hot-path — batched estimation code; lint rules R1/R6 apply.
+
 from __future__ import annotations
 
 import pickle
 from collections import OrderedDict
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -111,11 +113,11 @@ class TechniqueAdapter:
         self,
         key: str,
         factory: Callable[..., BaselineEstimator],
-        options: dict | None = None,
+        options: dict[str, Any] | None = None,
     ) -> None:
         self.key = key
         self._factory = factory
-        self.options = dict(options or {})
+        self.options: dict[str, Any] = dict(options or {})
         self.name = factory(**self.options).name
         self.mode: FeatureMode = FeatureMode.EXACT
         self.resources: tuple[str, ...] = ()
@@ -123,7 +125,7 @@ class TechniqueAdapter:
         # id(plan) -> (plan, featureised view); the reference pins the id.
         self._featureized: OrderedDict[int, tuple[object, ObservedQuery]] = OrderedDict()
 
-    def _as_observed(self, plans: Sequence) -> list[ObservedQuery]:
+    def _as_observed(self, plans: Sequence[Any]) -> list[ObservedQuery]:
         observed: list[ObservedQuery] = []
         for plan in plans:
             if hasattr(plan, "plan"):  # already an observed query
@@ -156,7 +158,9 @@ class TechniqueAdapter:
         }
         return self
 
-    def predict_batch(self, plans: Sequence, resource: str) -> np.ndarray:
+    def predict_batch(
+        self, plans: Sequence[Any], resource: str
+    ) -> np.ndarray[Any, np.dtype[np.float64]]:
         """Query-level totals for plans or observed queries, in input order."""
         fitted = self.fitted_.get(resource)
         if fitted is None:
@@ -167,9 +171,9 @@ class TechniqueAdapter:
         return fitted.predict_queries(self._as_observed(plans))
 
     # -- persistence ----------------------------------------------------------------------------
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         """Write the fitted adapter as a versioned, checksummed pickle artifact."""
-        payload = pickle.dumps(
+        payload = pickle.dumps(  # repro: noqa[REPRO-R3] — documented pickle envelope
             {
                 "key": self.key,
                 "options": self.options,
@@ -183,7 +187,7 @@ class TechniqueAdapter:
         Path(path).write_bytes(pack_envelope(ADAPTER_MAGIC, ADAPTER_VERSION, payload))
 
     @classmethod
-    def load(cls, path) -> "TechniqueAdapter":
+    def load(cls, path: str | Path) -> "TechniqueAdapter":
         """Load an adapter artifact written by :meth:`save` (strict).
 
         The artifact embeds a pickle; only load files you trust.  The
@@ -196,7 +200,7 @@ class TechniqueAdapter:
             raise EstimatorCodecError(f"cannot read artifact {path}: {exc}") from exc
         payload = unpack_envelope(data, ADAPTER_MAGIC, ADAPTER_VERSION, "technique")
         try:
-            state = pickle.loads(payload)
+            state = pickle.loads(payload)  # repro: noqa[REPRO-R3] — inside CRC envelope
         except Exception as exc:  # pickle raises a zoo of exception types
             raise EstimatorCodecError(f"cannot unpickle technique artifact: {exc}") from exc
 

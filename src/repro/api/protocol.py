@@ -18,7 +18,8 @@ online phase that never retrains.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Sequence, runtime_checkable
+from pathlib import Path
+from typing import Any, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -89,9 +90,11 @@ class Estimator(Protocol):
 
     def fit(self, training_data: TrainingCorpus) -> "Estimator": ...
 
-    def predict_batch(self, plans: Sequence, resource: str) -> np.ndarray: ...
+    def predict_batch(
+        self, plans: Sequence[Any], resource: str
+    ) -> np.ndarray[Any, np.dtype[np.float64]]: ...
 
-    def save(self, path) -> None: ...
+    def save(self, path: str | Path) -> None: ...
 
     @classmethod
-    def load(cls, path) -> "Estimator": ...
+    def load(cls, path: str | Path) -> "Estimator": ...

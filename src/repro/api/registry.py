@@ -13,7 +13,7 @@ call.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 from repro.baselines.akdere import AkdereOperatorBaseline
 from repro.baselines.base import BaselineEstimator
@@ -85,12 +85,12 @@ def get_spec(key: str) -> EstimatorSpec:
         raise KeyError(f"unknown estimator {key!r}; known: {known}") from None
 
 
-def make_technique(key: str, **options) -> BaselineEstimator:
+def make_technique(key: str, **options: Any) -> BaselineEstimator:
     """Construct the raw baseline technique registered under ``key``."""
     return get_spec(key).factory(**options)
 
 
-def make_estimator(key: str, **options) -> Estimator:
+def make_estimator(key: str, **options: Any) -> Estimator:
     """Construct the technique behind the unified Estimator protocol.
 
     The SCALING technique returns a native
@@ -174,7 +174,7 @@ def standard_lineup(
     """
     if mart_config is None:
         mart_config = MARTConfig(n_iterations=150 if fast else 1000)
-    per_key_options: dict[str, dict] = {
+    per_key_options: dict[str, dict[str, Any]] = {
         "mart": {"mart_config": mart_config},
         "scaling": {"mart_config": mart_config},
     }

@@ -17,6 +17,8 @@ bit-identical to ``estimator.estimate_workload``: both paths feed the same
 feature rows through the same family-batched model evaluation.
 """
 
+# repro: hot-path — batched estimation code; lint rules R1/R6 apply.
+
 from __future__ import annotations
 
 from collections import OrderedDict
@@ -26,6 +28,7 @@ from typing import Iterable, Sequence
 
 from repro.core.estimator import ResourceEstimator, WorkloadEstimate
 from repro.core.serialization import ModelSizeReport, load_estimator
+from repro.features.extractor import OperatorFeatures
 from repro.plan.plan import QueryPlan
 
 __all__ = ["EstimationService", "ServiceStats"]
@@ -64,7 +67,9 @@ class EstimationService:
         if self.cache_size < 0:
             raise ValueError("cache_size must be >= 0")
         # id(plan) -> (plan, features); the plan reference keeps the id stable.
-        self._feature_cache: OrderedDict[int, tuple[QueryPlan, dict]] = OrderedDict()
+        self._feature_cache: OrderedDict[
+            int, tuple[QueryPlan, dict[int, OperatorFeatures]]
+        ] = OrderedDict()
 
     @classmethod
     def from_artifact(cls, path: str | Path, cache_size: int = 2048) -> "EstimationService":
@@ -108,7 +113,7 @@ class EstimationService:
         self._feature_cache.clear()
 
     # -- internals ---------------------------------------------------------------------------------
-    def _plan_features(self, plan: QueryPlan) -> dict:
+    def _plan_features(self, plan: QueryPlan) -> dict[int, OperatorFeatures]:
         key = id(plan)
         cached = self._feature_cache.get(key)
         if cached is not None and cached[0] is plan:

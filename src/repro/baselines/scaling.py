@@ -8,6 +8,8 @@ estimator's batched per-family path: one matrix per operator family across
 the whole query list, not one model call per operator.
 """
 
+# repro: hot-path — batched estimation code; lint rules R1/R6 apply.
+
 from __future__ import annotations
 
 import numpy as np

@@ -9,6 +9,7 @@ Usage (module form, no installation entry point required)::
     python -m repro.cli estimate --model model.bin --queries 50
     python -m repro.cli estimate [--queries N] [--resource cpu|io|both]
     python -m repro.cli models inspect model.bin
+    python -m repro.cli lint src/ tests/ [--format=github]
 
 ``run`` executes one registered experiment (or ``all`` of them) and prints
 the regenerated table/figure; with ``--output`` the rendered results are
@@ -26,6 +27,12 @@ The train-once / serve-many workflow is split across three subcommands:
   is estimated with one ``estimate_workload`` call;
 * ``models inspect`` prints the format header and the
   :class:`~repro.core.serialization.ModelSizeReport` of an artifact.
+
+``lint`` runs the static invariant checker of :mod:`repro.lint` over the
+given paths.  Exit codes are uniform across every subcommand and flag
+(including ``--version``): **0** success/clean, **1** lint findings,
+**2** usage or input error.  ``main`` never leaks :class:`SystemExit` to
+embedding callers — argparse exits are converted to return codes.
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ from repro.core.trainer import TrainerConfig
 from repro.experiments.config import ExperimentConfig, get_config
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.features.definitions import FeatureMode
+from repro.lint.cli import add_lint_arguments, run_lint_command
 from repro.optimizer.planner import Planner
 from repro.query.tpch_templates import tpch_template_set
 from repro.workloads.datasets import build_training_data, split_workload
@@ -206,6 +214,11 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="print format header and size report of an artifact"
     )
     inspect_parser.add_argument("artifact", type=Path, help="model artifact path")
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="check the repo's estimation invariants (static analysis)"
+    )
+    add_lint_arguments(lint_parser)
     return parser
 
 
@@ -411,9 +424,18 @@ def _run_models_inspect(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code (0 ok / 1 findings / 2 usage).
+
+    argparse terminates the process on ``--version``, ``--help`` and usage
+    errors; embedding callers (tests, servers) call ``main`` directly, so
+    those :class:`SystemExit` outcomes are converted into the documented
+    return codes instead of unwinding through the caller.
+    """
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return exc.code if isinstance(exc.code, int) else 2
 
     if args.command is None:
         parser.print_usage(sys.stderr)
@@ -435,6 +457,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "estimate":
         return _run_estimate(args)
 
+    if args.command == "lint":
+        return run_lint_command(args)
+
     if args.command == "models":
         if args.models_command != "inspect":
             print(
@@ -451,8 +476,12 @@ def main(argv: list[str] | None = None) -> int:
         experiment_ids = [args.experiment]
     else:
         known = ", ".join(sorted(EXPERIMENTS))
-        parser.error(f"unknown experiment {args.experiment!r}; known: {known}, or 'all'")
-        return 2  # pragma: no cover - parser.error raises SystemExit
+        print(
+            f"{parser.prog}: error: unknown experiment {args.experiment!r}; "
+            f"known: {known}, or 'all'",
+            file=sys.stderr,
+        )
+        return 2
 
     for experiment_id in experiment_ids:
         print(_run_one(experiment_id, config, args.output))

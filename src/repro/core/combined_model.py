@@ -16,6 +16,8 @@ vectorised transform + MART pass, and the scalar :meth:`CombinedModel.predict`
 is a one-row wrapper over it, so scalar/batch parity holds by construction.
 """
 
+# repro: hot-path — batched estimation code; lint rules R1/R6 apply.
+
 from __future__ import annotations
 
 from dataclasses import dataclass, field

@@ -15,10 +15,13 @@ paper's observation that prediction overhead is negligible next to query
 optimisation (Section 7.3) hold for whole workloads, not just single calls.
 """
 
+# repro: hot-path — batched estimation code; lint rules R1/R6 apply.
+
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 import numpy as np
 
@@ -34,9 +37,12 @@ from repro.features.definitions import (
     features_for_family,
     operator_family,
 )
-from repro.features.extractor import FeatureExtractor
+from repro.features.extractor import FeatureExtractor, OperatorFeatures
 from repro.plan.operators import PlanOperator
 from repro.plan.plan import QueryPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.protocol import TrainingCorpus
 
 __all__ = ["ResourceEstimator", "WorkloadEstimate"]
 
@@ -76,8 +82,8 @@ class _FallbackModel:
     def predict(self, feature_values: dict[str, float]) -> float:
         return float(
             self.predict_batch(
-                np.array([feature_values.get("COUT", 0.0)]),
-                np.array([feature_values.get("CIN1", 0.0)]),
+                np.array([feature_values.get("COUT", 0.0)], dtype=np.float64),
+                np.array([feature_values.get("CIN1", 0.0)], dtype=np.float64),
             )[0]
         )
 
@@ -186,7 +192,10 @@ class ResourceEstimator:
             )
         return estimator
 
-    def fit(self, training_data) -> "ResourceEstimator":
+    def fit(
+        self,
+        training_data: "TrainingCorpus | dict[OperatorFamily, FamilyTrainingData]",
+    ) -> "ResourceEstimator":
         """Train this estimator in place (the unified Estimator protocol).
 
         ``training_data`` is either a :class:`repro.api.TrainingCorpus`-like
@@ -215,14 +224,14 @@ class ResourceEstimator:
         return self
 
     # -- persistence ---------------------------------------------------------------------------------
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         """Write the trained model to ``path`` as a versioned artifact."""
         from repro.core.serialization import save_estimator
 
         save_estimator(self, path)
 
     @classmethod
-    def load(cls, path) -> "ResourceEstimator":
+    def load(cls, path: str | Path) -> "ResourceEstimator":
         """Load an artifact written by :meth:`save` (strict on version/corruption)."""
         from repro.core.serialization import load_estimator
 
@@ -286,7 +295,7 @@ class ResourceEstimator:
             plans=plans, resources=resources, operator_estimates=operator_estimates
         )
 
-    def predict_batch(self, plans: Sequence, resource: str = "cpu") -> np.ndarray:
+    def predict_batch(self, plans: Sequence[Any], resource: str = "cpu") -> np.ndarray:
         """Query-level totals for a list of plans (the Estimator protocol).
 
         Accepts :class:`~repro.plan.plan.QueryPlan` objects or anything
@@ -305,7 +314,7 @@ class ResourceEstimator:
         """Batch-estimate already-extracted feature dictionaries of one family."""
         return self._predict_family_rows(family, _family_matrix(family, feature_rows), resource)
 
-    def extract_plan_features(self, plan: QueryPlan):
+    def extract_plan_features(self, plan: QueryPlan) -> dict[int, OperatorFeatures]:
         """Per-operator feature vectors of a plan, in this estimator's mode.
 
         Public so serving layers (e.g. the

@@ -21,6 +21,8 @@ and reducing lexicographically across models, and the scalar
 :meth:`ModelSelector.select` is a one-row wrapper over it.
 """
 
+# repro: hot-path — batched estimation code; lint rules R1/R6 apply.
+
 from __future__ import annotations
 
 from dataclasses import dataclass

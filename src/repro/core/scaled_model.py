@@ -18,6 +18,8 @@ and the batch-estimation test suite pins the two implementations against
 each other.
 """
 
+# repro: hot-path — batched estimation code; lint rules R1/R6 apply.
+
 from __future__ import annotations
 
 from dataclasses import dataclass

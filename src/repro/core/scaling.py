@@ -11,6 +11,8 @@ paper choose ``n·log n`` scaling for Sort CPU and
 ``C_outer × log2(C_inner)`` scaling for index nested loop joins.
 """
 
+# repro: hot-path — batched estimation code; lint rules R1/R6 apply.
+
 from __future__ import annotations
 
 from dataclasses import dataclass
@@ -180,13 +182,16 @@ class ScalingFunctionSelector:
         function: ScalingFunction, feature_values: np.ndarray | Sequence
     ) -> np.ndarray:
         if function.arity == 1:
-            return np.asarray(function(np.asarray(feature_values, dtype=np.float64)))
+            return np.asarray(
+                function(np.asarray(feature_values, dtype=np.float64)),
+                dtype=np.float64,
+            )
         values = np.asarray(feature_values, dtype=np.float64)
         if values.ndim != 2 or values.shape[1] != 2:
             raise ValueError(
                 f"two-input scaling function {function.name!r} needs an (n, 2) value array"
             )
-        return np.asarray(function(values[:, 0], values[:, 1]))
+        return np.asarray(function(values[:, 0], values[:, 1]), dtype=np.float64)
 
     @staticmethod
     def _fit_alpha(g_values: np.ndarray, resources: np.ndarray) -> float:

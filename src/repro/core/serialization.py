@@ -175,7 +175,7 @@ def model_set_size_bytes(model_set: OperatorModelSet) -> int:
     return sum(combined_model_size_bytes(m) for m in model_set.models)
 
 
-def estimator_size_bytes(estimator) -> int:
+def estimator_size_bytes(estimator: "ResourceEstimator") -> int:
     """Total size of every model stored by a trained ResourceEstimator."""
     return sum(model_set_size_bytes(ms) for ms in estimator.model_sets.values())
 
@@ -190,7 +190,7 @@ class ModelSizeReport:
     largest_single_model_bytes: int
 
     @classmethod
-    def for_estimator(cls, estimator) -> "ModelSizeReport":
+    def for_estimator(cls, estimator: "ResourceEstimator") -> "ModelSizeReport":
         sizes = [
             combined_model_size_bytes(model)
             for model_set in estimator.model_sets.values()

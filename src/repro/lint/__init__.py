@@ -1,0 +1,32 @@
+"""``repro.lint`` — AST-based checker for the repo's estimation invariants.
+
+The library's robustness story rests on conventions no runtime test can
+watch everywhere at once: the batched estimation path must never degrade
+into scalar per-plan loops, experiments must be seed-reproducible, and model
+persistence must flow through the versioned codec.  This package turns those
+conventions into machine-checked rules (stdlib :mod:`ast` only — no new
+runtime dependencies).
+
+Run it as ``python -m repro.lint`` or ``python -m repro.cli lint``; see
+:mod:`repro.lint.rules` for the rule catalogue, and use
+:func:`~repro.lint.context.hot_path` to opt a single function into the
+hot-path rules without the module pragma.
+"""
+
+from __future__ import annotations
+
+from repro.lint.context import HOT_PATH_PRAGMA, hot_path
+from repro.lint.engine import LintReport, check_source, run_lint
+from repro.lint.findings import LintFinding
+from repro.lint.rules import RULES, rule_ids
+
+__all__ = [
+    "LintFinding",
+    "LintReport",
+    "RULES",
+    "HOT_PATH_PRAGMA",
+    "check_source",
+    "hot_path",
+    "rule_ids",
+    "run_lint",
+]

@@ -1,0 +1,64 @@
+"""Baseline files: grandfathered findings that do not fail the gate.
+
+A baseline is a checked-in text file with one key per line, as produced by
+``repro lint --write-baseline``.  Keys are line-number free
+(``path::RULE-ID::<stripped source line>``) so unrelated edits above a
+grandfathered finding do not invalidate the baseline.  Matching is
+multiset-aware: one baseline entry absorbs one finding, so *new* copies of
+a grandfathered pattern still fail the gate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.findings import LintFinding
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+_HEADER = (
+    "# repro lint baseline — grandfathered findings (one key per line).\n"
+    "# Regenerate with: python -m repro.lint <paths> --write-baseline\n"
+)
+
+
+def load_baseline(path: Path) -> Counter[str]:
+    """The baseline keys of ``path`` (empty when the file does not exist)."""
+    entries: Counter[str] = Counter()
+    if not path.is_file():
+        return entries
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries[line] += 1
+    return entries
+
+
+def write_baseline(path: Path, findings: list[LintFinding]) -> int:
+    """Write the baseline absorbing ``findings``; returns the entry count."""
+    keys = sorted(finding.baseline_key() for finding in findings)
+    body = "".join(key + "\n" for key in keys)
+    path.write_text(_HEADER + body, encoding="utf-8")
+    return len(keys)
+
+
+def apply_baseline(
+    findings: list[LintFinding], baseline: Counter[str]
+) -> tuple[list[LintFinding], int]:
+    """Drop findings absorbed by the baseline.
+
+    Returns the surviving findings and the number absorbed.  Each baseline
+    entry absorbs at most as many findings as its multiplicity.
+    """
+    remaining = Counter(baseline)
+    survivors: list[LintFinding] = []
+    absorbed = 0
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            absorbed += 1
+        else:
+            survivors.append(finding)
+    return survivors, absorbed

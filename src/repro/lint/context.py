@@ -1,0 +1,157 @@
+"""Per-module analysis context: pragmas, suppressions and invariant zones.
+
+The linter's rules are *scoped*: hot-path rules only fire in modules that
+opted in via the ``# repro: hot-path`` pragma (or on functions carrying the
+:func:`hot_path` decorator), RNG discipline only applies to workload /
+experiment / benchmark code, and the persistence rule exempts the one module
+that *is* the codec.  This module computes those scopes once per file so the
+rules stay small.
+
+Suppression syntax (checked per offending line)::
+
+    some_call()  # repro: noqa[REPRO-R2]
+    other_call()  # repro: noqa[REPRO-R2, REPRO-R6]
+    anything()  # repro: noqa
+
+A bare ``noqa`` suppresses every rule on that line; the bracketed form
+suppresses only the listed rule ids.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+__all__ = [
+    "ModuleContext",
+    "build_context",
+    "hot_path",
+    "HOT_PATH_PRAGMA",
+    "HOT_PATH_DECORATOR",
+]
+
+#: Module-level pragma marking every line of the file as hot-path code.
+HOT_PATH_PRAGMA = "repro: hot-path"
+#: Decorator name marking a single function as hot-path code.
+HOT_PATH_DECORATOR = "hot_path"
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9\-_,\s]*)\])?")
+_PRAGMA_RE = re.compile(r"#\s*" + re.escape(HOT_PATH_PRAGMA) + r"\b")
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def hot_path(func: _F) -> _F:
+    """Marker decorator: the decorated function is hot-path code.
+
+    A no-op at runtime; ``repro lint`` applies the hot-path rules (scalar
+    loops, dtype contract) to the function body even when the enclosing
+    module did not opt in with the module pragma.
+    """
+    return func
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    #: Whole module opted into hot-path rules via the module pragma.
+    is_hot: bool
+    #: (first, last) line ranges of ``@hot_path``-decorated functions.
+    hot_ranges: list[tuple[int, int]]
+    #: RNG discipline zone (workloads / experiments / benchmarks).
+    rng_zone: bool
+    #: Float-equality zone (tree-split / model-selection / ml code).
+    float_zone: bool
+    #: The module *is* the persistence codec (R3 does not apply).
+    codec_module: bool
+    #: line -> suppressed rule ids; ``None`` value means "all rules".
+    noqa: dict[int, set[str] | None] = field(default_factory=dict)
+
+    def in_hot_scope(self, line: int) -> bool:
+        if self.is_hot:
+            return True
+        return any(first <= line <= last for first, last in self.hot_ranges)
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        if line not in self.noqa:
+            return False
+        rules = self.noqa[line]
+        return rules is None or rule in rules
+
+    def source_line(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+def _path_parts(path: str) -> tuple[str, ...]:
+    return tuple(part for part in path.replace("\\", "/").split("/") if part)
+
+
+def _collect_noqa(lines: list[str]) -> dict[int, set[str] | None]:
+    noqa: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(lines, start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            noqa[lineno] = None
+        else:
+            ids = {part.strip().upper() for part in rules.split(",") if part.strip()}
+            # ``noqa[]`` with an empty list suppresses nothing.
+            noqa[lineno] = ids if ids else set()
+    return noqa
+
+
+def _is_hot_decorator(node: ast.expr) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Name):
+        return target.id == HOT_PATH_DECORATOR
+    if isinstance(target, ast.Attribute):
+        return target.attr == HOT_PATH_DECORATOR
+    return False
+
+
+def _hot_ranges(tree: ast.Module) -> list[tuple[int, int]]:
+    ranges: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if any(_is_hot_decorator(dec) for dec in node.decorator_list):
+                ranges.append((node.lineno, node.end_lineno or node.lineno))
+    return ranges
+
+
+#: Path components that put a file in the seeded-RNG zone (R2).
+_RNG_ZONE_PARTS = frozenset({"workloads", "experiments", "benchmarks", "data"})
+#: Path components / file names in the float-equality zone (R4).
+_FLOAT_ZONE_PARTS = frozenset({"ml", "core"})
+
+
+def build_context(path: str, source: str, tree: ast.Module) -> ModuleContext:
+    """Compute the analysis context of one parsed module."""
+    lines = source.splitlines()
+    parts = _path_parts(path)
+    is_hot = any(_PRAGMA_RE.search(line) for line in lines)
+    codec_module = len(parts) >= 2 and parts[-2:] == ("core", "serialization.py")
+    return ModuleContext(
+        path=path,
+        source=source,
+        lines=lines,
+        tree=tree,
+        is_hot=is_hot,
+        hot_ranges=_hot_ranges(tree),
+        rng_zone=bool(_RNG_ZONE_PARTS.intersection(parts[:-1])),
+        float_zone=is_hot or bool(_FLOAT_ZONE_PARTS.intersection(parts[:-1])),
+        codec_module=codec_module,
+        noqa=_collect_noqa(lines),
+    )

@@ -1,0 +1,49 @@
+"""Finding records and output formats of the repo linter.
+
+A finding is one rule violation at one source location.  The text format
+(``path:line:col RULE-ID message``) is the grep-friendly default; the
+``github`` format emits GitHub Actions workflow commands so findings show
+up as inline annotations on pull requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LintFinding", "format_finding"]
+
+
+@dataclass(frozen=True, order=True)
+class LintFinding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: Stripped source text of the offending line; used for baseline keys so
+    #: grandfathered findings survive unrelated line-number drift.
+    source_line: str = field(default="", compare=False)
+
+    def text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    def github(self) -> str:
+        # ``::`` inside the message would terminate the workflow command early.
+        message = self.message.replace("::", ":")
+        return (
+            f"::error file={self.path},line={self.line},col={self.col},"
+            f"title={self.rule}::{message}"
+        )
+
+    def baseline_key(self) -> str:
+        """Stable identity used by the baseline file (line-number free)."""
+        return f"{self.path}::{self.rule}::{self.source_line.strip()}"
+
+
+def format_finding(finding: LintFinding, fmt: str) -> str:
+    """Render one finding in the requested output format."""
+    if fmt == "github":
+        return finding.github()
+    return finding.text()

@@ -1,0 +1,491 @@
+"""The repo-invariant rules of ``repro lint``.
+
+Each rule encodes one convention the estimation library relies on but the
+language cannot enforce:
+
+=========  ======================  ====================================================
+Rule id    Slug                    Invariant
+=========  ======================  ====================================================
+REPRO-R1   no-scalar-hot-loop      no per-plan scalar predict/estimate loops on the
+                                   hot path (module pragma / ``@hot_path`` opt-in)
+REPRO-R2   seeded-rng-only         workload, experiment and benchmark code draws
+                                   randomness only from explicitly seeded generators
+REPRO-R3   codec-only-persistence  pickle / numpy persistence happens only inside
+                                   ``core/serialization.py`` (the versioned codec)
+REPRO-R4   no-float-equality       no ``==`` / ``!=`` against floats in tree-split
+                                   and model-selection code
+REPRO-R5   no-silent-except        no bare / over-broad ``except`` that swallows the
+                                   error without raising or logging
+REPRO-R6   dtype-contract          numpy array constructors on the hot path pass an
+                                   explicit ``dtype=``
+=========  ======================  ====================================================
+
+Rules are pure functions of a :class:`~repro.lint.context.ModuleContext`;
+suppression (``# repro: noqa[...]``) and baseline filtering happen in the
+engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import LintFinding
+
+__all__ = ["Rule", "RULES", "rule_ids", "run_rules"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    rule_id: str
+    slug: str
+    summary: str
+    check: Callable[[ModuleContext], Iterator[LintFinding]]
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+
+class ImportMap:
+    """Resolves names in one module back to canonical dotted module paths.
+
+    Tracks ``import x [as y]`` and ``from x import y [as z]`` so a call like
+    ``np.random.rand(...)`` resolves to ``numpy.random.rand`` regardless of
+    aliasing.  Only module-level resolution is attempted; names that are not
+    rooted in an import resolve to ``None``.
+    """
+
+    #: Module aliases normalised to their canonical names.
+    _CANONICAL = {"np": "numpy"}
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._names[bound] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self._names[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted path of a Name/Attribute chain, if import-rooted."""
+        chain: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            chain.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self._names.get(current.id)
+        if root is None:
+            return None
+        parts = root.split(".")
+        parts[0] = self._CANONICAL.get(parts[0], parts[0])
+        return ".".join(parts + list(reversed(chain)))
+
+
+def _finding(
+    ctx: ModuleContext, node: ast.AST, rule_id: str, message: str
+) -> LintFinding:
+    line = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0)
+    return LintFinding(
+        path=ctx.path,
+        line=line,
+        col=col + 1,
+        rule=rule_id,
+        message=message,
+        source_line=ctx.source_line(line),
+    )
+
+
+# ---------------------------------------------------------------------------
+# REPRO-R1 · no-scalar-hot-loop
+# ---------------------------------------------------------------------------
+
+#: Per-instance estimation entry points that are scalar by contract; any
+#: call to one of these inside a hot loop is a per-item Python loop.  Their
+#: batched counterparts (predict_batch, predict_queries, estimate_workload,
+#: select_batch, estimate_feature_rows) are the calls hot loops should make.
+_ALWAYS_SCALAR_CALLS = frozenset(
+    {
+        "predict_one",
+        "_predict_one",
+        "predict_scalar",
+        "predict_operator",
+        "predict_query",
+        "estimate",
+        "estimate_plan",
+        "estimate_query",
+        "estimate_operator",
+        "select",
+    }
+)
+
+#: Names that are row-batched in the ml layer (``model.predict(matrix)``)
+#: but scalar when driven once per plan/row; these only fire when the
+#: enclosing loop visibly iterates over plans, queries, operators or rows.
+_AMBIGUOUS_CALLS = frozenset({"predict", "estimate_operators"})
+
+#: Loop-target names that mark a loop as per-plan / per-row iteration.
+_PER_ITEM_TARGETS = frozenset(
+    {
+        "plan", "plans", "query", "queries", "q", "op", "ops", "operator",
+        "operators", "row", "rows", "observed", "instance", "instances",
+        "sample", "samples",
+    }
+)
+
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While, ast.ListComp, ast.SetComp,
+               ast.DictComp, ast.GeneratorExp)
+
+
+def _loop_body_nodes(loop: ast.AST) -> Iterator[ast.AST]:
+    if isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+        for stmt in loop.body:
+            yield from ast.walk(stmt)
+    elif isinstance(loop, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+        yield from ast.walk(loop.elt)
+    elif isinstance(loop, ast.DictComp):
+        yield from ast.walk(loop.key)
+        yield from ast.walk(loop.value)
+
+
+def _target_names(node: ast.expr | None) -> Iterator[str]:
+    if node is None:
+        return
+    for leaf in ast.walk(node):
+        if isinstance(leaf, ast.Name):
+            yield leaf.id
+
+
+def _loop_is_per_item(loop: ast.AST) -> bool:
+    """True when the loop's targets name plans/queries/operators/rows."""
+    targets: list[ast.expr] = []
+    if isinstance(loop, (ast.For, ast.AsyncFor)):
+        targets = [loop.target]
+    elif isinstance(loop, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        targets = [gen.target for gen in loop.generators]
+    for target in targets:
+        if any(name.lower() in _PER_ITEM_TARGETS for name in _target_names(target)):
+            return True
+    return False
+
+
+def _check_scalar_hot_loop(ctx: ModuleContext) -> Iterator[LintFinding]:
+    if not ctx.is_hot and not ctx.hot_ranges:
+        return
+    for loop in ast.walk(ctx.tree):
+        if not isinstance(loop, _LOOP_NODES):
+            continue
+        if not ctx.in_hot_scope(getattr(loop, "lineno", 0)):
+            continue
+        per_item = _loop_is_per_item(loop)
+        for node in _loop_body_nodes(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            if name in _ALWAYS_SCALAR_CALLS or (
+                per_item and name in _AMBIGUOUS_CALLS
+            ):
+                yield _finding(
+                    ctx,
+                    node,
+                    "REPRO-R1",
+                    f"scalar '{name}()' call inside a hot-path loop; use the "
+                    "batched API (predict_batch / estimate_workload / "
+                    "select_batch) so estimation stays vectorised",
+                )
+
+
+# ---------------------------------------------------------------------------
+# REPRO-R2 · seeded-rng-only
+# ---------------------------------------------------------------------------
+
+#: RNG constructors that are fine *when given an explicit seed argument*.
+_SEEDABLE = frozenset(
+    {"Random", "SystemRandom", "Generator", "default_rng", "SeedSequence",
+     "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937", "RandomState"}
+)
+
+
+def _check_seeded_rng(ctx: ModuleContext) -> Iterator[LintFinding]:
+    if not ctx.rng_zone:
+        return
+    imports = ImportMap(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = imports.resolve(node.func)
+        if resolved is None:
+            continue
+        if not (resolved.startswith("random.") or resolved.startswith("numpy.random.")):
+            continue
+        leaf = resolved.rsplit(".", 1)[1]
+        if leaf in _SEEDABLE:
+            if not node.args and not node.keywords:
+                yield _finding(
+                    ctx,
+                    node,
+                    "REPRO-R2",
+                    f"'{resolved}()' without a seed; experiments must be "
+                    "reproducible — pass an explicit seed "
+                    "(e.g. repro.data.rng.make_rng)",
+                )
+            continue
+        yield _finding(
+            ctx,
+            node,
+            "REPRO-R2",
+            f"call to global RNG '{resolved}'; draw from an explicitly "
+            "seeded numpy Generator (repro.data.rng.make_rng) instead",
+        )
+
+
+# ---------------------------------------------------------------------------
+# REPRO-R3 · codec-only-persistence
+# ---------------------------------------------------------------------------
+
+_PERSISTENCE_CALLS = frozenset(
+    {
+        "pickle.load", "pickle.loads", "pickle.dump", "pickle.dumps",
+        "pickle.Pickler", "pickle.Unpickler",
+        "marshal.load", "marshal.loads", "marshal.dump", "marshal.dumps",
+        "numpy.save", "numpy.load", "numpy.savez", "numpy.savez_compressed",
+        "numpy.savetxt", "joblib.dump", "joblib.load", "shelve.open",
+    }
+)
+
+
+def _check_codec_only_persistence(ctx: ModuleContext) -> Iterator[LintFinding]:
+    if ctx.codec_module:
+        return
+    imports = ImportMap(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = imports.resolve(node.func)
+        if resolved in _PERSISTENCE_CALLS:
+            yield _finding(
+                ctx,
+                node,
+                "REPRO-R3",
+                f"'{resolved}' outside core/serialization.py; persist models "
+                "through the versioned CRC-checked codec "
+                "(save_estimator / load_estimator / pack_envelope)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REPRO-R4 · no-float-equality
+# ---------------------------------------------------------------------------
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "float"
+    return False
+
+
+def _check_float_equality(ctx: ModuleContext) -> Iterator[LintFinding]:
+    if not ctx.float_zone:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands[:-1], operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_floatish(left) or _is_floatish(right):
+                yield _finding(
+                    ctx,
+                    node,
+                    "REPRO-R4",
+                    "float equality comparison in split/selection code; use a "
+                    "tolerance (math.isclose / np.isclose) or an ordered "
+                    "comparison against an epsilon",
+                )
+                break
+
+
+# ---------------------------------------------------------------------------
+# REPRO-R5 · no-silent-except
+# ---------------------------------------------------------------------------
+
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+_LOGGING_CALLS = frozenset(
+    {"debug", "info", "warning", "warn", "error", "exception", "critical", "log"}
+)
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        list(handler.type.elts) if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for node in types:
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name in _BROAD_EXCEPTIONS:
+            return True
+    return False
+
+
+def _handler_surfaces_error(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _LOGGING_CALLS:
+                return True
+            if isinstance(func, ast.Name) and func.id in ("print", *_LOGGING_CALLS):
+                return True
+    return False
+
+
+def _check_silent_except(ctx: ModuleContext) -> Iterator[LintFinding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_broad_handler(node):
+            continue
+        if _handler_surfaces_error(node):
+            continue
+        yield _finding(
+            ctx,
+            node,
+            "REPRO-R5",
+            "broad 'except' swallows the error silently; narrow the exception "
+            "type, re-raise (e.g. as EstimatorCodecError), or log the fallback",
+        )
+
+
+# ---------------------------------------------------------------------------
+# REPRO-R6 · dtype-contract
+# ---------------------------------------------------------------------------
+
+#: Constructor -> index of the positional ``dtype`` parameter.
+_DTYPE_CONSTRUCTORS = {
+    "numpy.array": 1,
+    "numpy.asarray": 1,
+    "numpy.asanyarray": 1,
+    "numpy.empty": 1,
+    "numpy.zeros": 1,
+    "numpy.ones": 1,
+    "numpy.full": 2,
+    "numpy.arange": 4,
+}
+
+
+def _check_dtype_contract(ctx: ModuleContext) -> Iterator[LintFinding]:
+    if not ctx.is_hot and not ctx.hot_ranges:
+        return
+    imports = ImportMap(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not ctx.in_hot_scope(getattr(node, "lineno", 0)):
+            continue
+        resolved = imports.resolve(node.func)
+        if resolved not in _DTYPE_CONSTRUCTORS:
+            continue
+        dtype_position = _DTYPE_CONSTRUCTORS[resolved]
+        has_dtype = len(node.args) > dtype_position or any(
+            kw.arg == "dtype" for kw in node.keywords
+        )
+        if not has_dtype:
+            yield _finding(
+                ctx,
+                node,
+                "REPRO-R6",
+                f"'{resolved}' on the hot path without an explicit dtype=; "
+                "batch-path arrays must pin their dtype (usually np.float64) "
+                "so matrices never silently become object or float32 arrays",
+            )
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        "REPRO-R1",
+        "no-scalar-hot-loop",
+        "no scalar predict/estimate loops in hot-path modules",
+        _check_scalar_hot_loop,
+    ),
+    Rule(
+        "REPRO-R2",
+        "seeded-rng-only",
+        "workload/experiment/benchmark randomness must be explicitly seeded",
+        _check_seeded_rng,
+    ),
+    Rule(
+        "REPRO-R3",
+        "codec-only-persistence",
+        "pickle/numpy persistence only inside core/serialization.py",
+        _check_codec_only_persistence,
+    ),
+    Rule(
+        "REPRO-R4",
+        "no-float-equality",
+        "no float == / != in tree-split and model-selection code",
+        _check_float_equality,
+    ),
+    Rule(
+        "REPRO-R5",
+        "no-silent-except",
+        "no broad except that swallows errors without raising or logging",
+        _check_silent_except,
+    ),
+    Rule(
+        "REPRO-R6",
+        "dtype-contract",
+        "hot-path numpy constructors must pass an explicit dtype=",
+        _check_dtype_contract,
+    ),
+)
+
+
+def rule_ids() -> tuple[str, ...]:
+    return tuple(rule.rule_id for rule in RULES)
+
+
+def run_rules(ctx: ModuleContext) -> list[LintFinding]:
+    """All raw findings of every rule on one module (no suppression).
+
+    Deduplicated: nested loops can report the same call once per enclosing
+    loop, which would double-count one defect.
+    """
+    findings: list[LintFinding] = []
+    for rule in RULES:
+        findings.extend(rule.check(ctx))
+    return sorted(set(findings))

@@ -6,6 +6,8 @@ reports the best-performing one per experiment (PolyKernel for the CPU
 experiments, RBFKernel for I/O).  We implement the same kernel family.
 """
 
+# repro: hot-path — batched estimation code; lint rules R1/R6 apply.
+
 from __future__ import annotations
 
 import numpy as np

@@ -9,6 +9,8 @@ Used for two of the paper's baselines:
   propagation of estimates through the plan).
 """
 
+# repro: hot-path — batched estimation code; lint rules R1/R6 apply.
+
 from __future__ import annotations
 
 from dataclasses import dataclass
@@ -50,7 +52,7 @@ class LinearRegressor:
             raise ValueError("cannot fit on an empty dataset")
         n, d = features.shape
         self.n_features_ = d
-        design = np.hstack([np.ones((n, 1)), features])
+        design = np.hstack([np.ones((n, 1), dtype=np.float64), features])
         if self.ridge > 0:
             gram = design.T @ design
             # Scale the ridge term relative to the feature magnitudes so that

@@ -14,6 +14,8 @@ ensemble.  The properties the paper relies on hold for this implementation:
   precisely the weakness the paper's scaling framework corrects.
 """
 
+# repro: hot-path — batched estimation code; lint rules R1/R6 apply.
+
 from __future__ import annotations
 
 from dataclasses import dataclass
@@ -90,7 +92,7 @@ class MARTRegressor:
             if sample_size < n_rows:
                 rows = rng.choice(n_rows, size=sample_size, replace=False)
             else:
-                rows = np.arange(n_rows)
+                rows = np.arange(n_rows, dtype=np.int64)
             tree = RegressionTree(
                 max_leaves=cfg.max_leaves, min_samples_leaf=cfg.min_samples_leaf
             )

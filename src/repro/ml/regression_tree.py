@@ -11,6 +11,8 @@ split search sorts the node's rows once and evaluates all thresholds with
 prefix sums, so fitting cost is ``O(n log n · d)`` per node.
 """
 
+# repro: hot-path — batched estimation code; lint rules R1/R6 apply.
+
 from __future__ import annotations
 
 import heapq
@@ -110,7 +112,7 @@ class RegressionTree:
         self.n_features_ = features.shape[1]
         self._flat_cache = None  # invalidate the vectorised-prediction cache
 
-        all_rows = np.arange(features.shape[0])
+        all_rows = np.arange(features.shape[0], dtype=np.int64)
         self.root = TreeNode(value=float(targets.mean()), n_samples=features.shape[0])
         counter = itertools.count()
         heap: list[_SplitCandidate] = []
@@ -215,13 +217,33 @@ class RegressionTree:
     # -- prediction ------------------------------------------------------------------------
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Predict targets for ``features`` (n, d)."""
+        features = self._prediction_matrix(features)
+        values = self._flat()[4]
+        return values[self._route(features)]
+
+    def leaf_positions(self, features: np.ndarray) -> np.ndarray:
+        """Leaf rank per row, in ``root.leaves()`` (pre-order) order.
+
+        Ranks match the stable pre-order keying used by the serialization
+        codec and :mod:`repro.ml.transform_regression`'s leaf models, so
+        callers can batch per-leaf work without walking node objects.
+        """
+        features = self._prediction_matrix(features)
+        node_features = self._flat()[0]
+        leaf_nodes = np.nonzero(node_features < 0)[0]
+        return np.searchsorted(leaf_nodes, self._route(features)).astype(np.int64)
+
+    def _prediction_matrix(self, features: np.ndarray) -> np.ndarray:
         if self.root is None:
             raise RuntimeError("tree has not been fitted")
         features = np.asarray(features, dtype=np.float64)
         if features.ndim == 1:
             features = features.reshape(1, -1)
-        flat = self._flat()
-        node_features, thresholds, lefts, rights, values = flat
+        return features
+
+    def _route(self, features: np.ndarray) -> np.ndarray:
+        """Flat node index of the leaf each row lands in (vectorised)."""
+        node_features, thresholds, lefts, rights, _ = self._flat()
         # Route all rows through the tree level by level (vectorised).
         positions = np.zeros(features.shape[0], dtype=np.int64)
         active = node_features[positions] >= 0
@@ -231,7 +253,7 @@ class RegressionTree:
             go_left = features[rows, node_features[nodes]] <= thresholds[nodes]
             positions[rows] = np.where(go_left, lefts[nodes], rights[nodes])
             active[rows] = node_features[positions[rows]] >= 0
-        return values[positions]
+        return positions
 
     def _flat(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Array encoding of the tree (cached) for vectorised prediction."""

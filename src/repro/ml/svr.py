@@ -16,6 +16,8 @@ Feature standardisation is applied internally (as WEKA's SMOreg does), since
 kernel machines, unlike MART, are sensitive to feature scale.
 """
 
+# repro: hot-path — batched estimation code; lint rules R1/R6 apply.
+
 from __future__ import annotations
 
 import numpy as np

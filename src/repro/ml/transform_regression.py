@@ -17,6 +17,8 @@ which is why the paper observes it performing well in-distribution but less
 robustly than explicit scaling when the test data moves far from training.
 """
 
+# repro: hot-path — batched estimation code; lint rules R1/R6 apply.
+
 from __future__ import annotations
 
 from dataclasses import dataclass
@@ -24,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ml.linear import LinearRegressor
-from repro.ml.regression_tree import RegressionTree, TreeNode
+from repro.ml.regression_tree import RegressionTree
 
 __all__ = ["TransformRegressor", "TransformConfig"]
 
@@ -52,40 +54,26 @@ class _LinearLeafStage:
         self.tree = tree
         self.leaf_models = leaf_models
 
-    def __getstate__(self):
-        state = self.__dict__.copy()
-        state.pop("_leaf_positions", None)  # id-keyed cache; rebuilt on demand
-        return state
-
-    def _positions(self) -> dict[int, int]:
-        cached = getattr(self, "_leaf_positions", None)
-        if cached is None:
-            assert self.tree.root is not None
-            cached = {id(leaf): i for i, leaf in enumerate(self.tree.root.leaves())}
-            self._leaf_positions = cached
-        return cached
-
     def predict(self, features: np.ndarray) -> np.ndarray:
-        positions = self._positions()
-        out = np.empty(features.shape[0], dtype=np.float64)
-        for i in range(features.shape[0]):
-            leaf = self._leaf_for(features[i])
-            model = self.leaf_models.get(positions[id(leaf)])
+        """Per-leaf batched prediction: route all rows at once, then apply
+        each leaf's linear model to its rows in one regressor call."""
+        features = np.asarray(features, dtype=np.float64)
+        ranks = self.tree.leaf_positions(features)
+        assert self.tree.root is not None
+        leaf_values = np.array(
+            [leaf.value for leaf in self.tree.root.leaves()], dtype=np.float64
+        )
+        out = leaf_values[ranks]
+        for rank in np.unique(ranks):
+            model = self.leaf_models.get(int(rank))
             if model is None:
-                out[i] = leaf.value
-            else:
-                feature_index, regressor = model
-                prediction = regressor.predict(features[i, feature_index : feature_index + 1])
-                out[i] = float(prediction[0])
+                continue
+            feature_index, regressor = model
+            mask = ranks == rank
+            out[mask] = regressor.predict(
+                features[mask, feature_index : feature_index + 1]
+            )
         return out
-
-    def _leaf_for(self, x: np.ndarray) -> TreeNode:
-        node = self.tree.root
-        assert node is not None
-        while not node.is_leaf:
-            assert node.left is not None and node.right is not None
-            node = node.left if x[node.feature] <= node.threshold else node.right
-        return node
 
 
 class TransformRegressor:
@@ -114,7 +102,7 @@ class TransformRegressor:
         cfg = self.config
         self.n_features_ = features.shape[1]
         self.initial_prediction_ = float(targets.mean())
-        predictions = np.full(features.shape[0], self.initial_prediction_)
+        predictions = np.full(features.shape[0], self.initial_prediction_, dtype=np.float64)
         self.stages_ = []
         for _ in range(cfg.n_iterations):
             residuals = targets - predictions
@@ -129,17 +117,14 @@ class TransformRegressor:
         cfg = self.config
         tree = RegressionTree(max_leaves=cfg.max_leaves, min_samples_leaf=cfg.min_samples_leaf)
         tree.fit(features, residuals)
-        # Assign rows to leaves, then fit the best single-feature linear model
-        # per leaf (keyed by stable pre-order leaf position).
-        assert tree.root is not None
-        positions = {id(leaf): i for i, leaf in enumerate(tree.root.leaves())}
-        leaf_rows: dict[int, list[int]] = {}
-        for i in range(features.shape[0]):
-            leaf = self._leaf_for(tree, features[i])
-            leaf_rows.setdefault(positions[id(leaf)], []).append(i)
+        # Assign rows to leaves in one vectorised routing pass, then fit the
+        # best single-feature linear model per leaf (keyed by stable
+        # pre-order leaf position).
+        ranks = tree.leaf_positions(features)
         leaf_models: dict[int, tuple[int, LinearRegressor]] = {}
-        for leaf_id, rows in leaf_rows.items():
-            rows_arr = np.asarray(rows)
+        for leaf_id in np.unique(ranks):
+            leaf_id = int(leaf_id)
+            rows_arr = np.nonzero(ranks == leaf_id)[0]
             if len(rows_arr) < 2 * cfg.min_samples_leaf:
                 continue
             x = features[rows_arr]
@@ -151,15 +136,6 @@ class TransformRegressor:
             model.fit(x[:, feature_index : feature_index + 1], y)
             leaf_models[leaf_id] = (feature_index, model)
         return _LinearLeafStage(tree, leaf_models)
-
-    @staticmethod
-    def _leaf_for(tree: RegressionTree, x: np.ndarray) -> TreeNode:
-        node = tree.root
-        assert node is not None
-        while not node.is_leaf:
-            assert node.left is not None and node.right is not None
-            node = node.left if x[node.feature] <= node.threshold else node.right
-        return node
 
     @staticmethod
     def _best_feature(x: np.ndarray, y: np.ndarray) -> int | None:

@@ -175,7 +175,7 @@ class TestTechniqueAdapter:
         from repro.core.serialization import pack_envelope
         from repro.api.adapters import ADAPTER_VERSION
 
-        payload = pickle.dumps(
+        payload = pickle.dumps(  # repro: noqa[REPRO-R3] — crafting a corrupt artifact
             {"key": "no_such_technique", "options": {}, "name": "X",
              "mode": "exact", "resources": ("cpu",), "fitted": {}},
         )

@@ -81,9 +81,21 @@ class TestMain:
         assert written.exists()
         assert "Scaling-function selection" in written.read_text()
 
-    def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["run", "table_99"])
+    def test_unknown_experiment_rejected_with_usage_code(self, capsys):
+        """Usage errors return the documented exit code 2 — ``main`` never
+        leaks SystemExit to embedding callers."""
+        assert main(["run", "table_99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_version_flag_returns_0(self, capsys):
+        """``--version`` exits 0 through ``main`` (documented code), not via
+        an uncaught SystemExit."""
+        assert main(["--version"]) == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_unknown_option_returns_2(self, capsys):
+        assert main(["--no-such-flag"]) == 2
+        assert "usage:" in capsys.readouterr().err
 
     def test_models_without_subcommand_returns_2(self, capsys):
         assert main(["models"]) == 2

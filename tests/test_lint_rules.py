@@ -1,0 +1,414 @@
+"""Tests for ``repro lint``: rules, suppression, baseline, CLI exit codes.
+
+Each rule gets positive fixtures (the invariant violation is reported) and
+negative fixtures (idiomatic code stays clean); on top of that the suite
+covers ``# repro: noqa[...]`` suppression, baseline absorption, the GitHub
+output format, the documented exit-code contract (0 clean / 1 findings /
+2 usage error) and — the meta-test — that the repo's own source tree is
+lint-clean.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main as cli_main
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import check_source, run_lint
+from repro.lint.rules import RULES, rule_ids
+
+#: The repo's importable source tree (…/src), independent of the test cwd.
+REPO_SRC = Path(repro.__file__).resolve().parents[1]
+
+HOT_PRAGMA = "# repro: hot-path\n"
+
+
+def rules_of(source: str, path: str = "src/repro/ml/module.py") -> list[str]:
+    """Rule ids reported for an in-memory module (suppression applied)."""
+    findings, _ = check_source(path, source)
+    return [finding.rule for finding in findings]
+
+
+# ---------------------------------------------------------------------------
+# REPRO-R1 · no-scalar-hot-loop
+# ---------------------------------------------------------------------------
+
+
+class TestScalarHotLoop:
+    def test_scalar_call_in_hot_module_loop_is_flagged(self):
+        source = HOT_PRAGMA + (
+            "def total(model, items):\n"
+            "    acc = 0.0\n"
+            "    for item in items:\n"
+            "        acc += model.estimate_query(item)\n"
+            "    return acc\n"
+        )
+        assert rules_of(source) == ["REPRO-R1"]
+
+    def test_scalar_call_in_comprehension_is_flagged(self):
+        source = HOT_PRAGMA + (
+            "def totals(model, items):\n"
+            "    return [model.predict_query(item) for item in items]\n"
+        )
+        assert rules_of(source) == ["REPRO-R1"]
+
+    def test_ambiguous_predict_fires_only_in_per_item_loops(self):
+        per_plan = HOT_PRAGMA + (
+            "def f(model, plans):\n"
+            "    return [model.predict(plan) for plan in plans]\n"
+        )
+        assert rules_of(per_plan) == ["REPRO-R1"]
+        # A boosting loop calls the *row-batched* predict once per tree —
+        # that is the idiom the batched path is built on, not a violation.
+        boosting = HOT_PRAGMA + (
+            "def f(trees, matrix):\n"
+            "    out = 0.0\n"
+            "    for tree in trees:\n"
+            "        out += tree.predict(matrix)\n"
+            "    return out\n"
+        )
+        assert rules_of(boosting) == []
+
+    def test_module_without_pragma_is_exempt(self):
+        source = (
+            "def total(model, items):\n"
+            "    return [model.estimate_query(item) for item in items]\n"
+        )
+        assert rules_of(source) == []
+
+    def test_hot_path_decorator_opts_in_a_single_function(self):
+        source = (
+            "from repro.lint import hot_path\n"
+            "@hot_path\n"
+            "def hot(model, items):\n"
+            "    return [model.estimate_query(item) for item in items]\n"
+            "def cold(model, items):\n"
+            "    return [model.estimate_query(item) for item in items]\n"
+        )
+        findings, _ = check_source("src/repro/ml/module.py", source)
+        assert [finding.rule for finding in findings] == ["REPRO-R1"]
+        assert findings[0].line == 4  # inside hot(), not cold()
+
+
+# ---------------------------------------------------------------------------
+# REPRO-R2 · seeded-rng-only
+# ---------------------------------------------------------------------------
+
+RNG_PATH = "src/repro/workloads/generator.py"
+
+
+class TestSeededRngOnly:
+    def test_global_numpy_rng_in_workload_code_is_flagged(self):
+        source = "import numpy as np\nvalues = np.random.rand(3)\n"
+        assert rules_of(source, RNG_PATH) == ["REPRO-R2"]
+
+    def test_stdlib_global_rng_is_flagged(self):
+        source = "import random\nx = random.random()\n"
+        assert rules_of(source, RNG_PATH) == ["REPRO-R2"]
+
+    def test_unseeded_generator_constructor_is_flagged(self):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_of(source, RNG_PATH) == ["REPRO-R2"]
+
+    def test_seeded_generator_is_clean(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1234)\n"
+            "values = rng.normal(size=8)\n"
+        )
+        assert rules_of(source, RNG_PATH) == []
+
+    def test_rule_is_scoped_to_rng_zone_directories(self):
+        source = "import numpy as np\nvalues = np.random.rand(3)\n"
+        assert rules_of(source, "src/repro/plan/module.py") == []
+
+
+# ---------------------------------------------------------------------------
+# REPRO-R3 · codec-only-persistence
+# ---------------------------------------------------------------------------
+
+
+class TestCodecOnlyPersistence:
+    def test_pickle_outside_the_codec_is_flagged(self):
+        source = "import pickle\nblob = pickle.dumps({'a': 1})\n"
+        assert rules_of(source, "src/repro/api/module.py") == ["REPRO-R3"]
+
+    def test_numpy_save_outside_the_codec_is_flagged(self):
+        source = "import numpy as np\nnp.save('weights.npy', [1.0])\n"
+        assert rules_of(source, "src/repro/api/module.py") == ["REPRO-R3"]
+
+    def test_the_codec_module_itself_is_exempt(self):
+        source = "import pickle\nblob = pickle.dumps({'a': 1})\n"
+        assert rules_of(source, "src/repro/core/serialization.py") == []
+
+    def test_import_aliasing_does_not_evade_the_rule(self):
+        source = "import pickle as pkl\nblob = pkl.dumps({'a': 1})\n"
+        assert rules_of(source, "src/repro/api/module.py") == ["REPRO-R3"]
+
+
+# ---------------------------------------------------------------------------
+# REPRO-R4 · no-float-equality
+# ---------------------------------------------------------------------------
+
+
+class TestNoFloatEquality:
+    def test_float_equality_in_split_code_is_flagged(self):
+        source = "def f(gain):\n    return gain == 0.0\n"
+        assert rules_of(source, "src/repro/ml/tree.py") == ["REPRO-R4"]
+
+    def test_float_inequality_is_flagged(self):
+        source = "def f(error):\n    return error != 1.5\n"
+        assert rules_of(source, "src/repro/core/selection.py") == ["REPRO-R4"]
+
+    def test_ordered_epsilon_comparison_is_clean(self):
+        source = "def f(gain):\n    return gain <= 1e-12\n"
+        assert rules_of(source, "src/repro/ml/tree.py") == []
+
+    def test_integer_equality_is_clean(self):
+        source = "def f(n):\n    return n == 0\n"
+        assert rules_of(source, "src/repro/ml/tree.py") == []
+
+    def test_rule_is_scoped_to_ml_and_core_code(self):
+        source = "def f(gain):\n    return gain == 0.0\n"
+        assert rules_of(source, "src/repro/plan/module.py") == []
+
+
+# ---------------------------------------------------------------------------
+# REPRO-R5 · no-silent-except
+# ---------------------------------------------------------------------------
+
+
+class TestNoSilentExcept:
+    def test_swallowed_broad_except_is_flagged(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert rules_of(source) == ["REPRO-R5"]
+
+    def test_bare_except_is_flagged(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except:\n"
+            "        result = None\n"
+        )
+        assert rules_of(source) == ["REPRO-R5"]
+
+    def test_reraising_broad_except_is_clean(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception as exc:\n"
+            "        raise RuntimeError('boom') from exc\n"
+        )
+        assert rules_of(source) == []
+
+    def test_narrow_except_is_clean(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except ValueError:\n"
+            "        return None\n"
+        )
+        assert rules_of(source) == []
+
+
+# ---------------------------------------------------------------------------
+# REPRO-R6 · dtype-contract
+# ---------------------------------------------------------------------------
+
+
+class TestDtypeContract:
+    def test_missing_dtype_in_hot_module_is_flagged(self):
+        source = HOT_PRAGMA + (
+            "import numpy as np\n"
+            "def f(rows):\n"
+            "    return np.asarray(rows)\n"
+        )
+        assert rules_of(source) == ["REPRO-R6"]
+
+    def test_missing_dtype_on_empty_is_flagged(self):
+        # The acceptance canary: deleting ``dtype=`` from a batch-path
+        # ``np.empty`` must fail the gate with this rule id.
+        source = HOT_PRAGMA + (
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    return np.empty(n)\n"
+        )
+        assert rules_of(source) == ["REPRO-R6"]
+
+    def test_explicit_dtype_keyword_is_clean(self):
+        source = HOT_PRAGMA + (
+            "import numpy as np\n"
+            "def f(rows):\n"
+            "    return np.asarray(rows, dtype=np.float64)\n"
+        )
+        assert rules_of(source) == []
+
+    def test_positional_dtype_is_clean(self):
+        source = HOT_PRAGMA + (
+            "import numpy as np\n"
+            "def f(rows):\n"
+            "    return np.array(rows, np.float64)\n"
+        )
+        assert rules_of(source) == []
+
+    def test_cold_modules_are_exempt(self):
+        source = "import numpy as np\ndef f(rows):\n    return np.asarray(rows)\n"
+        assert rules_of(source) == []
+
+
+# ---------------------------------------------------------------------------
+# suppression and baseline
+# ---------------------------------------------------------------------------
+
+
+class TestSuppression:
+    def test_noqa_with_matching_rule_id_suppresses(self):
+        source = "import pickle\nblob = pickle.dumps(x)  # repro: noqa[REPRO-R3]\n"
+        findings, suppressed = check_source("src/repro/api/module.py", source)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_bare_noqa_suppresses_every_rule_on_the_line(self):
+        source = "import pickle\nblob = pickle.dumps(x)  # repro: noqa\n"
+        findings, suppressed = check_source("src/repro/api/module.py", source)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_noqa_for_a_different_rule_does_not_suppress(self):
+        source = "import pickle\nblob = pickle.dumps(x)  # repro: noqa[REPRO-R2]\n"
+        findings, suppressed = check_source("src/repro/api/module.py", source)
+        assert [finding.rule for finding in findings] == ["REPRO-R3"]
+        assert suppressed == 0
+
+
+class TestBaseline:
+    SOURCE = "import pickle\nblob = pickle.dumps(x)\nblob2 = pickle.dumps(x)\n"
+
+    def _write_module(self, tmp_path: Path) -> Path:
+        module = tmp_path / "module.py"
+        module.write_text(self.SOURCE, encoding="utf-8")
+        return module
+
+    def test_write_then_rerun_absorbs_grandfathered_findings(self, tmp_path):
+        module = self._write_module(tmp_path)
+        baseline = tmp_path / "baseline.txt"
+        report = run_lint([module], root=tmp_path)
+        assert write_baseline(baseline, report.findings) == 2
+        absorbed = run_lint([module], baseline_path=baseline, root=tmp_path)
+        assert absorbed.clean
+        assert absorbed.baselined == 2
+
+    def test_baseline_keys_survive_line_number_drift(self, tmp_path):
+        module = self._write_module(tmp_path)
+        baseline = tmp_path / "baseline.txt"
+        report = run_lint([module], root=tmp_path)
+        write_baseline(baseline, report.findings)
+        # Prepend unrelated lines: line numbers shift, keys do not.
+        module.write_text("import os\n\n" + self.SOURCE, encoding="utf-8")
+        shifted = run_lint([module], baseline_path=baseline, root=tmp_path)
+        assert shifted.clean
+
+    def test_baseline_is_multiset_aware(self, tmp_path):
+        """One grandfathered copy does not excuse new copies of the pattern."""
+        module = self._write_module(tmp_path)
+        report = run_lint([module], root=tmp_path)
+        one_key = load_baseline(Path("/nonexistent"))
+        one_key[report.findings[0].baseline_key()] += 1
+        survivors, absorbed = apply_baseline(report.findings, one_key)
+        assert absorbed == 1
+        assert [finding.rule for finding in survivors] == ["REPRO-R3"]
+
+
+# ---------------------------------------------------------------------------
+# CLI: formats and the exit-code contract
+# ---------------------------------------------------------------------------
+
+
+class TestLintCli:
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        assert lint_main([str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_findings_exit_1_with_grep_style_lines(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import pickle\nblob = pickle.dumps(x)\n", encoding="utf-8")
+        assert lint_main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO-R3" in out
+        assert ":2:" in out  # path:line:col prefix
+
+    def test_nonexistent_path_exits_2(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "missing")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_option_exits_2(self, capsys):
+        assert lint_main(["--no-such-flag"]) == 2
+
+    def test_github_format_emits_workflow_commands(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import pickle\nblob = pickle.dumps(x)\n", encoding="utf-8")
+        assert lint_main([str(bad), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "title=REPRO-R3" in out
+
+    def test_list_rules_covers_every_rule(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule.rule_id in out
+            assert rule.slug in out
+
+    def test_write_baseline_then_gate_passes(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = tmp_path / "bad.py"
+        bad.write_text("import pickle\nblob = pickle.dumps(x)\n", encoding="utf-8")
+        assert lint_main(["bad.py", "--write-baseline"]) == 0
+        assert Path("lint-baseline.txt").is_file()
+        capsys.readouterr()
+        assert lint_main(["bad.py"]) == 0  # default baseline picked up
+        assert "1 baselined" in capsys.readouterr().err
+
+    def test_repro_cli_lint_subcommand_shares_the_contract(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        assert cli_main(["lint", str(tmp_path)]) == 0
+        bad = tmp_path / "bad.py"
+        bad.write_text("import pickle\nblob = pickle.dumps(x)\n", encoding="utf-8")
+        assert cli_main(["lint", str(bad)]) == 1
+        assert cli_main(["lint", str(tmp_path / "missing")]) == 2
+
+
+# ---------------------------------------------------------------------------
+# meta: the repo's own source is the first consumer of the gate
+# ---------------------------------------------------------------------------
+
+
+class TestRepoIsClean:
+    def test_rule_registry_is_consistent(self):
+        assert len(rule_ids()) == len(set(rule_ids())) == 6
+
+    def test_repo_source_tree_is_lint_clean(self):
+        report = run_lint([REPO_SRC], root=REPO_SRC.parent)
+        assert [finding.text() for finding in report.findings] == []
+        assert report.files_checked > 50
+
+    def test_repo_tests_are_lint_clean(self):
+        tests_dir = REPO_SRC.parent / "tests"
+        if not tests_dir.is_dir():
+            pytest.skip("tests/ not present next to src/ (installed package)")
+        report = run_lint([tests_dir], root=REPO_SRC.parent)
+        assert [finding.text() for finding in report.findings] == []
