@@ -198,7 +198,7 @@ class TechniqueAdapter:
             data = Path(path).read_bytes()
         except OSError as exc:
             raise EstimatorCodecError(f"cannot read artifact {path}: {exc}") from exc
-        payload = unpack_envelope(data, ADAPTER_MAGIC, ADAPTER_VERSION, "technique")
+        _, payload = unpack_envelope(data, ADAPTER_MAGIC, ADAPTER_VERSION, "technique")
         try:
             state = pickle.loads(payload)  # repro: noqa[REPRO-R3] — inside CRC envelope
         except Exception as exc:  # pickle raises a zoo of exception types

@@ -4,8 +4,9 @@ The paper's Section 7.3 deployment argument — trained models are tiny and
 prediction overhead is negligible — assumes a resident model that serves
 many requests.  :class:`EstimationService` is that resident session: it
 loads a persisted :class:`~repro.core.estimator.ResourceEstimator` once
-(:meth:`EstimationService.from_artifact`) and then answers any number of
-``estimate_workload`` calls without retraining or reloading.
+(:meth:`EstimationService.from_artifact`, with bounded retry for transient
+IO) and then answers any number of ``estimate_workload`` calls without
+retraining or reloading.
 
 The service adds one serving-side optimisation over the bare estimator:
 **per-plan feature-row caching**.  Feature extraction is the only
@@ -15,23 +16,41 @@ ask about the same plans repeatedly — so extraction results are memoised per
 plan object in a bounded LRU.  Cached or not, the service's numbers are
 bit-identical to ``estimator.estimate_workload``: both paths feed the same
 feature rows through the same family-batched model evaluation.
+
+Serving is guardrailed (:mod:`repro.robustness`): inputs are validated
+against the training-feature envelopes (``on_invalid`` selects whether
+non-finite features reject the request or degrade down the fallback
+ladder), every estimate carries a
+:class:`~repro.robustness.degradation.DegradationReport`, and
+:meth:`EstimationService.swap_artifact` hot-swaps the live model only after
+the candidate passes canary predictions — rolling back to the incumbent
+otherwise.
 """
 
 # repro: hot-path — batched estimation code; lint rules R1/R6 apply.
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Literal, Sequence
 
 from repro.core.estimator import ResourceEstimator, WorkloadEstimate
-from repro.core.serialization import ModelSizeReport, load_estimator
+from repro.core.serialization import ModelSizeReport
 from repro.features.extractor import OperatorFeatures
 from repro.plan.plan import QueryPlan
+from repro.robustness.lifecycle import (
+    ArtifactSwapError,
+    load_estimator_with_retry,
+    run_canary_checks,
+)
+from repro.robustness.validation import PlanValidator, ValidationReport
 
 __all__ = ["EstimationService", "ServiceStats"]
+
+_LOGGER = logging.getLogger("repro.api.service")
 
 
 @dataclass
@@ -42,6 +61,13 @@ class ServiceStats:
     plans_served: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Operator estimates served below the MODEL tier (degradation ladder).
+    degraded_operators: int = 0
+    #: Plans flagged outside the training envelopes.
+    ood_plans_flagged: int = 0
+    #: Successful / rejected artifact hot-swaps.
+    swaps: int = 0
+    failed_swaps: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -57,6 +83,16 @@ class EstimationService:
     #: Maximum number of plans whose extracted feature rows stay cached.
     cache_size: int = 2048
     stats: ServiceStats = field(default_factory=ServiceStats)
+    #: Run the degradation-ladder guardrails on every estimate.
+    guardrails: bool = True
+    #: What to do when a plan carries non-finite feature values: ``"flag"``
+    #: degrades the affected operators down the fallback ladder, ``"reject"``
+    #: raises :class:`~repro.robustness.validation.PlanValidationError` before
+    #: any estimation happens.
+    on_invalid: Literal["flag", "reject"] = "flag"
+    #: Out-of-distribution score above which plans are flagged in the
+    #: degradation report (training-range units); ``None`` disables scoring.
+    ood_threshold: float | None = 1.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.estimator, ResourceEstimator):
@@ -66,15 +102,36 @@ class EstimationService:
             )
         if self.cache_size < 0:
             raise ValueError("cache_size must be >= 0")
+        if self.on_invalid not in ("flag", "reject"):
+            raise ValueError(
+                f"on_invalid must be 'flag' or 'reject', got {self.on_invalid!r}"
+            )
         # id(plan) -> (plan, features); the plan reference keeps the id stable.
         self._feature_cache: OrderedDict[
             int, tuple[QueryPlan, dict[int, OperatorFeatures]]
         ] = OrderedDict()
+        self._validator = self._build_validator()
 
     @classmethod
-    def from_artifact(cls, path: str | Path, cache_size: int = 2048) -> "EstimationService":
-        """Load a persisted estimator once and wrap it in a serving session."""
-        return cls(estimator=load_estimator(path), cache_size=cache_size)
+    def from_artifact(
+        cls,
+        path: str | Path,
+        cache_size: int = 2048,
+        retries: int = 3,
+        backoff: float = 0.05,
+        reader: "Callable[[Path], bytes] | None" = None,
+    ) -> "EstimationService":
+        """Load a persisted estimator once and wrap it in a serving session.
+
+        Transient IO errors are retried up to ``retries`` times with
+        exponential backoff (``backoff * 2**attempt`` seconds); decode
+        errors fail immediately.  ``reader`` overrides the file reader
+        (used by fault-injection tests).
+        """
+        estimator = load_estimator_with_retry(
+            path, retries=retries, backoff=backoff, reader=reader
+        )
+        return cls(estimator=estimator, cache_size=cache_size)
 
     # -- serving --------------------------------------------------------------------------------
     def estimate_workload(
@@ -87,23 +144,114 @@ class EstimationService:
         Same grouping, matrices and model evaluation as
         :meth:`ResourceEstimator.estimate_workload`, so the results are
         identical — the service only skips re-extracting features for plans
-        it has served before.
+        it has served before.  With guardrails on, the returned estimate
+        carries a degradation report; in ``on_invalid="reject"`` mode a
+        workload with non-finite features raises
+        :class:`~repro.robustness.validation.PlanValidationError` instead of
+        being estimated.
         """
         plans = list(plans)
         extracted = [self._plan_features(plan) for plan in plans]
-        estimate = self.estimator.estimate_extracted_workload(plans, extracted, resources)
+        if self.guardrails and self.on_invalid == "reject":
+            self._validator.require_valid(extracted)
+        estimate = self.estimator.estimate_extracted_workload(
+            plans,
+            extracted,
+            resources,
+            guardrails=self.guardrails,
+            ood_threshold=self.ood_threshold if self.guardrails else None,
+        )
         self.stats.workloads_served += 1
         self.stats.plans_served += len(plans)
+        report = estimate.degradation
+        if report is not None and not report.clean:
+            self.stats.degraded_operators += report.count
+            self.stats.ood_plans_flagged += len(report.ood_plans)
         return estimate
 
     def estimate_query(self, plan: QueryPlan, resource: str = "cpu") -> float:
         """Query-level estimate for one plan (cached like any other)."""
         return self.estimate_workload([plan], (resource,)).query(0, resource)
 
+    def validate_workload(self, plans: Iterable[QueryPlan]) -> ValidationReport:
+        """Pre-flight validation only: no estimation, no stats updates."""
+        return self._validator.validate_workload(
+            [self._plan_features(plan) for plan in plans]
+        )
+
+    # -- artifact lifecycle ----------------------------------------------------------------------
+    def swap_artifact(
+        self,
+        path: str | Path,
+        retries: int = 3,
+        backoff: float = 0.05,
+        reader: "Callable[[Path], bytes] | None" = None,
+        canary_margin: float = 1e9,
+    ) -> "ResourceEstimator":
+        """Validate a candidate artifact and atomically promote it.
+
+        The candidate is loaded (with the same bounded retry as
+        :meth:`from_artifact`), checked for compatibility with the live
+        session (same feature mode, covers every currently served resource)
+        and probed with canary predictions
+        (:func:`~repro.robustness.lifecycle.run_canary_checks`).  Only after
+        every check passes is the live estimator replaced — a single
+        reference assignment, so concurrent readers see either the old or
+        the new model, never a mix.  Any failure raises
+        :class:`~repro.robustness.lifecycle.ArtifactSwapError` and leaves
+        the incumbent serving (rollback is keeping the reference).
+
+        Returns the estimator that was replaced.
+        """
+        try:
+            candidate = load_estimator_with_retry(
+                path, retries=retries, backoff=backoff, reader=reader
+            )
+        except (OSError, ValueError) as exc:
+            self.stats.failed_swaps += 1
+            _LOGGER.warning("artifact swap rejected (load failed): %s", exc)
+            raise ArtifactSwapError(
+                f"candidate artifact {path} failed to load: {exc}"
+            ) from exc
+        if candidate.feature_mode is not self.estimator.feature_mode:
+            self.stats.failed_swaps += 1
+            raise ArtifactSwapError(
+                f"candidate feature mode {candidate.feature_mode.value!r} does not "
+                f"match the live session ({self.estimator.feature_mode.value!r})"
+            )
+        missing = [r for r in self.estimator.resources if r not in candidate.resources]
+        if missing:
+            self.stats.failed_swaps += 1
+            raise ArtifactSwapError(
+                f"candidate artifact does not model resource(s) {missing} served "
+                "by the live session"
+            )
+        report = run_canary_checks(candidate, margin=canary_margin)
+        if not report.passed:
+            self.stats.failed_swaps += 1
+            details = "; ".join(
+                f"{f.family.value if f.family else 'global'}/{f.resource}: {f.reason}"
+                for f in report.failures[:3]
+            )
+            _LOGGER.warning("artifact swap rejected (canary failed): %s", details)
+            raise ArtifactSwapError(
+                f"candidate artifact {path} failed canary checks: {details}"
+            )
+        previous = self.estimator
+        self.estimator = candidate
+        self._validator = self._build_validator()
+        self.clear_cache()
+        self.stats.swaps += 1
+        return previous
+
     # -- introspection ---------------------------------------------------------------------------
     @property
     def resources(self) -> tuple[str, ...]:
         return self.estimator.resources
+
+    @property
+    def validator(self) -> PlanValidator:
+        return self._validator
 
     def model_size_report(self) -> ModelSizeReport:
         """Compact-encoding size summary of the served model collection."""
@@ -113,13 +261,23 @@ class EstimationService:
         self._feature_cache.clear()
 
     # -- internals ---------------------------------------------------------------------------------
+    def _build_validator(self) -> PlanValidator:
+        return PlanValidator.for_estimator(
+            self.estimator,
+            ood_threshold=self.ood_threshold if self.ood_threshold is not None else 1.0,
+        )
+
     def _plan_features(self, plan: QueryPlan) -> dict[int, OperatorFeatures]:
         key = id(plan)
         cached = self._feature_cache.get(key)
-        if cached is not None and cached[0] is plan:
-            self._feature_cache.move_to_end(key)
-            self.stats.cache_hits += 1
-            return cached[1]
+        if cached is not None:
+            if cached[0] is plan:
+                self._feature_cache.move_to_end(key)
+                self.stats.cache_hits += 1
+                return cached[1]
+            # id() was recycled for a new plan object: the cached entry is
+            # stale and can never hit again — drop it before re-populating.
+            del self._feature_cache[key]
         features = self.estimator.extract_plan_features(plan)
         self.stats.cache_misses += 1
         if self.cache_size > 0:

@@ -170,9 +170,28 @@ class PerOperatorBaseline(BaselineEstimator):
                 [[operators[i].features(self.mode).get(n, 0.0) for n in names] for i in indices],
                 dtype=np.float64,
             )
-            estimates[indices] = np.maximum(
+            predicted = np.maximum(
                 np.asarray(model.predict(matrix), dtype=np.float64), 0.0
             )
+            # Sanitize: a regressor fed degenerate features can emit NaN/inf;
+            # those rows fall back to the per-tuple rate instead of poisoning
+            # the query-level sums.
+            broken = ~np.isfinite(predicted)
+            if broken.any():
+                cardinalities = np.array(
+                    [
+                        (
+                            operators[i].features(self.mode).get("COUT", 0.0),
+                            operators[i].features(self.mode).get("CIN1", 0.0),
+                        )
+                        for i in np.asarray(indices, dtype=np.int64)[broken]
+                    ],
+                    dtype=np.float64,
+                ).reshape(int(broken.sum()), 2)
+                predicted[broken] = self.fallback_.predict_batch(
+                    cardinalities[:, 0], cardinalities[:, 1]
+                )
+            estimates[indices] = predicted
         return estimates
 
     def predict_operator(self, op: ObservedOperator) -> float:

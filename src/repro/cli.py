@@ -30,9 +30,11 @@ The train-once / serve-many workflow is split across three subcommands:
 
 ``lint`` runs the static invariant checker of :mod:`repro.lint` over the
 given paths.  Exit codes are uniform across every subcommand and flag
-(including ``--version``): **0** success/clean, **1** lint findings,
-**2** usage or input error.  ``main`` never leaks :class:`SystemExit` to
-embedding callers — argparse exits are converted to return codes.
+(including ``--version``): **0** success/clean, **1** runtime/data errors
+(lint findings, missing or corrupt model artifacts), **2** usage errors
+(bad flags, unknown experiments, resource mismatches).  ``main`` never
+leaks :class:`SystemExit` to embedding callers — argparse exits are
+converted to return codes.
 """
 
 from __future__ import annotations
@@ -54,6 +56,7 @@ from repro.core.serialization import (
     EstimatorCodecError,
     ModelSizeReport,
     load_estimator,
+    read_artifact_version,
 )
 from repro.core.trainer import TrainerConfig
 from repro.experiments.config import ExperimentConfig, get_config
@@ -317,6 +320,10 @@ def _run_train(args: argparse.Namespace) -> int:
     return 0
 
 
+class _UsageError(Exception):
+    """A request the CLI cannot serve as asked (exit code 2, not a data error)."""
+
+
 def _load_native_estimator(path: Path) -> ResourceEstimator:
     """Load an artifact the CLI can serve, with a clear error otherwise.
 
@@ -345,7 +352,7 @@ def _serving_service(args: argparse.Namespace, config, resources) -> tuple[Estim
         available = service.resources
         missing = [r for r in resources if r not in available]
         if missing and args.resource != "both":
-            raise EstimatorCodecError(
+            raise _UsageError(
                 f"artifact {args.model} models {available}, not {missing[0]!r}"
             )
         served = tuple(r for r in resources if r in available) or available
@@ -366,7 +373,10 @@ def _run_estimate(args: argparse.Namespace) -> int:
     requested = _resources_from_arg(args.resource)
     try:
         service, resources, source = _serving_service(args, config, requested)
-    except EstimatorCodecError as exc:
+    except (EstimatorCodecError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except _UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -394,6 +404,9 @@ def _run_estimate(args: argparse.Namespace) -> int:
     for resource in resources:
         total = float(estimate.query_totals(resource).sum())
         print(f"workload total ({resource}): {total:,.0f} {unit[resource]}")
+    report = estimate.degradation
+    if report is not None and not report.clean:
+        print(f"degradation: {report.summary()}")
     print(
         f"estimated {estimate.n_plans} queries / {n_operators} operators "
         f"x {len(resources)} resource(s) in {elapsed:.3f}s "
@@ -406,12 +419,13 @@ def _run_models_inspect(args: argparse.Namespace) -> int:
     """Print the format header and ModelSizeReport of a model artifact."""
     try:
         estimator = _load_native_estimator(args.artifact)
-    except EstimatorCodecError as exc:
+        artifact_version = read_artifact_version(args.artifact)
+    except (EstimatorCodecError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return 1
     report = ModelSizeReport.for_estimator(estimator)
     print(f"artifact: {args.artifact} ({args.artifact.stat().st_size:,} bytes on disk)")
-    print(f"format version: {ARTIFACT_VERSION}")
+    print(f"format version: {artifact_version}")
     print(f"feature mode: {estimator.feature_mode.value}")
     print(f"resources: {', '.join(estimator.resources)}")
     families = sorted({family.value for family, _ in estimator.model_sets})

@@ -19,18 +19,27 @@ optimisation (Section 7.3) hold for whole workloads, not just single calls.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 import numpy as np
 
+from repro.core.scaling import fit_robust_scaling
 from repro.core.trainer import (
     FamilyTrainingData,
     OperatorModelSet,
     ScalingModelTrainer,
     TrainerConfig,
 )
+from repro.robustness.degradation import (
+    DegradationReport,
+    DegradationTier,
+    DegradedOperator,
+    ScalingFallback,
+)
+from repro.robustness.envelope import FeatureEnvelope
 from repro.features.definitions import (
     FeatureMode,
     OperatorFamily,
@@ -45,6 +54,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.protocol import TrainingCorpus
 
 __all__ = ["ResourceEstimator", "WorkloadEstimate"]
+
+_LOGGER = logging.getLogger("repro.core.estimator")
 
 #: The resources the library models, as in the paper.
 DEFAULT_RESOURCES: tuple[str, ...] = ("cpu", "io")
@@ -96,6 +107,9 @@ class WorkloadEstimate:
     resources: tuple[str, ...]
     #: resource -> one ``{node_id: estimate}`` dictionary per plan.
     operator_estimates: dict[str, list[dict[int, float]]]
+    #: Which fallback tier served each (plan, resource); ``None`` only when
+    #: the estimate was produced with ``guardrails=False``.
+    degradation: DegradationReport | None = None
 
     @property
     def n_plans(self) -> int:
@@ -152,6 +166,16 @@ class ResourceEstimator:
     resources: tuple[str, ...] = DEFAULT_RESOURCES
     #: Training configuration used by :meth:`fit`; persisted with the model.
     trainer_config: TrainerConfig | None = None
+    #: Per-family training-feature envelopes recorded at fit time; drive OOD
+    #: detection (:class:`~repro.robustness.validation.PlanValidator`) and
+    #: the artifact canary checks.  Empty for pre-robustness (v1) artifacts.
+    envelopes: dict[OperatorFamily, FeatureEnvelope] = field(default_factory=dict)
+    #: Median per-tuple rate per (family, resource) — the FAMILY_RATE tier.
+    family_rates: dict[tuple[OperatorFamily, str], float] = field(default_factory=dict)
+    #: Fitted ``alpha · g(cardinality)`` curves — the SCALING tier.
+    scaling_fallbacks: dict[tuple[OperatorFamily, str], ScalingFallback] = field(
+        default_factory=dict
+    )
 
     #: Display name under the unified Estimator protocol (not a dataclass field).
     name = "SCALING"
@@ -177,6 +201,11 @@ class ResourceEstimator:
         """
         trainer = ScalingModelTrainer(config)
         estimator = cls(feature_mode=feature_mode, resources=resources, trainer_config=config)
+        for family, data in training_data.items():
+            if data.feature_rows:
+                estimator.envelopes[family] = FeatureEnvelope.fit(
+                    family, _family_matrix(family, data.feature_rows)
+                )
         for resource in resources:
             per_tuple_rates: list[float] = []
             for family, data in training_data.items():
@@ -184,9 +213,25 @@ class ResourceEstimator:
                 if model_set is not None:
                     estimator.model_sets[(family, resource)] = model_set
                 targets = data.target_array(resource)
+                family_rates: list[float] = []
+                cardinalities: list[float] = []
                 for row, value in zip(data.feature_rows, targets):
                     rows = max(row.get("COUT", 0.0), row.get("CIN1", 0.0), 1.0)
                     per_tuple_rates.append(value / rows)
+                    family_rates.append(value / rows)
+                    cardinalities.append(max(row.get("COUT", 0.0), row.get("CIN1", 0.0)))
+                if family_rates:
+                    estimator.family_rates[(family, resource)] = float(
+                        np.median(family_rates)
+                    )
+                fitted = fit_robust_scaling(
+                    np.asarray(cardinalities, dtype=np.float64),
+                    np.asarray(targets, dtype=np.float64),
+                )
+                if fitted is not None:
+                    estimator.scaling_fallbacks[(family, resource)] = (
+                        ScalingFallback.from_fitted(fitted)
+                    )
             estimator.fallbacks[resource] = _FallbackModel(
                 per_tuple=float(np.median(per_tuple_rates)) if per_tuple_rates else 0.0,
             )
@@ -220,6 +265,9 @@ class ResourceEstimator:
         self.resources = trained.resources
         self.model_sets = trained.model_sets
         self.fallbacks = trained.fallbacks
+        self.envelopes = trained.envelopes
+        self.family_rates = trained.family_rates
+        self.scaling_fallbacks = trained.scaling_fallbacks
         self._extractor = FeatureExtractor(self.feature_mode)
         return self
 
@@ -242,6 +290,9 @@ class ResourceEstimator:
         self,
         plans: Iterable[QueryPlan],
         resources: Sequence[str] | None = None,
+        *,
+        guardrails: bool = True,
+        ood_threshold: float | None = None,
     ) -> WorkloadEstimate:
         """Batch-estimate a whole workload of plans in one pass.
 
@@ -251,13 +302,22 @@ class ResourceEstimator:
         """
         plans = list(plans)
         extracted = [self.extract_plan_features(plan) for plan in plans]
-        return self.estimate_extracted_workload(plans, extracted, resources)
+        return self.estimate_extracted_workload(
+            plans,
+            extracted,
+            resources,
+            guardrails=guardrails,
+            ood_threshold=ood_threshold,
+        )
 
     def estimate_extracted_workload(
         self,
         plans: Sequence[QueryPlan],
         extracted: Sequence[dict],
         resources: Sequence[str] | None = None,
+        *,
+        guardrails: bool = True,
+        ood_threshold: float | None = None,
     ) -> WorkloadEstimate:
         """Batch-estimate plans whose features are already extracted.
 
@@ -265,6 +325,17 @@ class ResourceEstimator:
         ``plans[i]``.  This is the shared tail of the batched path: the
         serving layer feeds cached extraction results through it, so cached
         and uncached estimates are identical by construction.
+
+        With ``guardrails`` on (the default), rows the MART models cannot
+        serve — non-finite features, a raising model, non-finite or negative
+        predictions — are re-estimated down the fallback ladder
+        (:class:`~repro.robustness.degradation.DegradationTier`), and the
+        returned estimate carries a
+        :class:`~repro.robustness.degradation.DegradationReport`.  On clean
+        inputs the guarded path returns bit-identical numbers to
+        ``guardrails=False``.  ``ood_threshold`` additionally flags plans
+        whose features lie outside the training envelopes by more than that
+        many training-ranges.
         """
         plans = list(plans)
         resources = tuple(resources) if resources is not None else self.resources
@@ -285,14 +356,42 @@ class ResourceEstimator:
         operator_estimates: dict[str, list[dict[int, float]]] = {
             resource: [{} for _ in plans] for resource in resources
         }
+        entries: list[DegradedOperator] = []
         for resource in resources:
             per_plan = operator_estimates[resource]
             for family, rows in groups.items():
-                predictions = self._predict_family_rows(family, matrices[family], resource)
+                if guardrails:
+                    predictions, tiers, reasons = self._predict_family_rows_guarded(
+                        family, matrices[family], resource
+                    )
+                    for row_index, reason in reasons.items():
+                        plan_index, node_id, _ = rows[row_index]
+                        entries.append(
+                            DegradedOperator(
+                                plan_index=plan_index,
+                                node_id=node_id,
+                                resource=resource,
+                                tier=DegradationTier(int(tiers[row_index])),
+                                reason=reason,
+                            )
+                        )
+                else:
+                    predictions = self._predict_family_rows(
+                        family, matrices[family], resource
+                    )
                 for (plan_index, node_id, _), value in zip(rows, predictions):
                     per_plan[plan_index][node_id] = float(value)
+        degradation = None
+        if guardrails:
+            degradation = DegradationReport(
+                entries=tuple(entries),
+                ood_plans=self._flag_ood_plans(groups, matrices, ood_threshold),
+            )
         return WorkloadEstimate(
-            plans=plans, resources=resources, operator_estimates=operator_estimates
+            plans=plans,
+            resources=resources,
+            operator_estimates=operator_estimates,
+            degradation=degradation,
         )
 
     def predict_batch(self, plans: Sequence[Any], resource: str = "cpu") -> np.ndarray:
@@ -381,6 +480,183 @@ class ResourceEstimator:
                 matrix[:, names.index("COUT")], matrix[:, names.index("CIN1")]
             )
         return np.zeros(matrix.shape[0], dtype=np.float64)
+
+    def _predict_family_rows_guarded(
+        self, family: OperatorFamily, matrix: np.ndarray, resource: str
+    ) -> tuple[np.ndarray, np.ndarray, dict[int, str]]:
+        """Guarded batched prediction: rows the model cannot serve degrade.
+
+        Returns ``(predictions, tiers, reasons)`` where ``tiers[i]`` is the
+        :class:`~repro.robustness.degradation.DegradationTier` that served
+        row ``i`` and ``reasons`` maps exactly the degraded row indices to
+        why they left the model tier.  On clean inputs with a trained model
+        set this returns the model's batch output unchanged (bit-identical
+        to :meth:`_predict_family_rows`).
+        """
+        self._check_resource(resource)
+        matrix = np.asarray(matrix, dtype=np.float64)
+        n = int(matrix.shape[0])
+        tiers = np.full(n, int(DegradationTier.MODEL), dtype=np.int64)
+        reasons: dict[int, str] = {}
+        model_set = self.model_sets.get((family, resource))
+
+        if model_set is None:
+            # Parity with the ungated path: families without a trained model
+            # set are served by the global fallback, recorded as such.
+            names = features_for_family(family)
+            cout = matrix[:, names.index("COUT")]
+            cin1 = matrix[:, names.index("CIN1")]
+            fallback = self.fallbacks.get(resource)
+            if fallback is not None:
+                raw = fallback.predict_batch(cout, cin1)
+                predictions = np.where(np.isfinite(raw), raw, 0.0)
+            else:
+                predictions = np.zeros(n, dtype=np.float64)
+            tiers[:] = int(DegradationTier.GLOBAL_DEFAULT)
+            for row_index in range(n):
+                reasons[row_index] = "no-model-set"
+            return predictions, tiers, reasons
+
+        if np.isfinite(matrix).all():
+            # Common case: every row is model-servable.  Keep this branch to
+            # scalar checks only — on valid output it returns the model's
+            # batch result unchanged (bit-identical to the ungated path).
+            try:
+                out = np.asarray(model_set.predict_batch(matrix), dtype=np.float64)
+            except (ValueError, ArithmeticError, RuntimeError) as exc:
+                _LOGGER.warning(
+                    "model set %s/%s raised during batch prediction; degrading "
+                    "%d row(s): %s",
+                    family.value,
+                    resource,
+                    n,
+                    exc,
+                )
+                predictions = np.zeros(n, dtype=np.float64)
+                for row_index in range(n):
+                    reasons[row_index] = "model-error"
+            else:
+                finite_out = np.isfinite(out)
+                if finite_out.all() and (out >= 0.0).all():
+                    return out, tiers, reasons
+                invalid = ~finite_out | (out < 0.0)
+                predictions = np.where(invalid, 0.0, out)
+                for row_index in np.flatnonzero(invalid):
+                    reasons[int(row_index)] = "invalid-prediction"
+        else:
+            predictions = np.zeros(n, dtype=np.float64)
+            finite_rows = np.isfinite(matrix).all(axis=1)
+            for row_index in np.flatnonzero(~finite_rows):
+                reasons[int(row_index)] = "non-finite-features"
+            model_rows = np.flatnonzero(finite_rows)
+            if model_rows.size:
+                try:
+                    out = np.asarray(
+                        model_set.predict_batch(matrix[model_rows]), dtype=np.float64
+                    )
+                except (ValueError, ArithmeticError, RuntimeError) as exc:
+                    _LOGGER.warning(
+                        "model set %s/%s raised during batch prediction; degrading "
+                        "%d row(s): %s",
+                        family.value,
+                        resource,
+                        int(model_rows.size),
+                        exc,
+                    )
+                    for row_index in model_rows:
+                        reasons[int(row_index)] = "model-error"
+                else:
+                    invalid = ~np.isfinite(out) | (out < 0.0)
+                    valid = ~invalid
+                    predictions[model_rows[valid]] = out[valid]
+                    for row_index in model_rows[invalid]:
+                        reasons[int(row_index)] = "invalid-prediction"
+
+        degraded = np.asarray(sorted(reasons), dtype=np.int64)
+        if degraded.size:
+            names = features_for_family(family)
+            cout = matrix[:, names.index("COUT")]
+            cin1 = matrix[:, names.index("CIN1")]
+            raw_cards = np.maximum(cout[degraded], cin1[degraded])
+            cards = np.where(
+                np.isfinite(raw_cards), np.maximum(raw_cards, 0.0), 0.0
+            )
+            self._degrade_rows(
+                family, resource, degraded, cards, predictions, tiers, reasons
+            )
+        return predictions, tiers, reasons
+
+    def _degrade_rows(
+        self,
+        family: OperatorFamily,
+        resource: str,
+        row_indices: np.ndarray,
+        cards: np.ndarray,
+        predictions: np.ndarray,
+        tiers: np.ndarray,
+        reasons: dict[int, str],
+    ) -> None:
+        """Serve degraded rows down the ladder (mutates predictions/tiers).
+
+        ``cards`` holds the sanitised (finite, non-negative) output
+        cardinalities of ``row_indices``.  Each tier serves every row it can
+        produce a finite estimate for; anything still unserved after the
+        global default becomes an explicit zero.
+        """
+        remaining = np.arange(row_indices.shape[0], dtype=np.int64)
+        scaling = self.scaling_fallbacks.get((family, resource))
+        if scaling is not None and remaining.size:
+            out = scaling.predict_rows(cards[remaining])
+            served = np.isfinite(out)
+            taken = remaining[served]
+            predictions[row_indices[taken]] = out[served]
+            tiers[row_indices[taken]] = int(DegradationTier.SCALING)
+            remaining = remaining[~served]
+        rate = self.family_rates.get((family, resource))
+        if rate is not None and np.isfinite(rate) and remaining.size:
+            out = np.maximum(float(rate) * cards[remaining], 0.0)
+            served = np.isfinite(out)
+            taken = remaining[served]
+            predictions[row_indices[taken]] = out[served]
+            tiers[row_indices[taken]] = int(DegradationTier.FAMILY_RATE)
+            remaining = remaining[~served]
+        fallback = self.fallbacks.get(resource)
+        if fallback is not None and remaining.size:
+            out = fallback.predict_batch(cards[remaining], cards[remaining])
+            served = np.isfinite(out)
+            taken = remaining[served]
+            predictions[row_indices[taken]] = out[served]
+            tiers[row_indices[taken]] = int(DegradationTier.GLOBAL_DEFAULT)
+            remaining = remaining[~served]
+        if remaining.size:
+            predictions[row_indices[remaining]] = 0.0
+            tiers[row_indices[remaining]] = int(DegradationTier.GLOBAL_DEFAULT)
+            for position in remaining:
+                row_index = int(row_indices[position])
+                reasons[row_index] = reasons[row_index] + "; no-fallback-available"
+
+    def _flag_ood_plans(
+        self,
+        groups: dict[OperatorFamily, list[tuple[int, int, dict[str, float]]]],
+        matrices: dict[OperatorFamily, np.ndarray],
+        ood_threshold: float | None,
+    ) -> dict[int, float]:
+        """Plans whose features leave the training envelopes, with scores."""
+        ood_plans: dict[int, float] = {}
+        if ood_threshold is None:
+            return ood_plans
+        for family, rows in groups.items():
+            envelope = self.envelopes.get(family)
+            if envelope is None:
+                continue
+            scores = envelope.out_scores(matrices[family])
+            flagged = np.flatnonzero(np.isfinite(scores) & (scores > float(ood_threshold)))
+            for row_index in flagged:
+                plan_index = rows[int(row_index)][0]
+                score = float(scores[row_index])
+                if score > ood_plans.get(plan_index, 0.0):
+                    ood_plans[plan_index] = score
+        return ood_plans
 
     def _estimate_features(
         self, family: OperatorFamily, feature_values: dict[str, float], resource: str

@@ -30,6 +30,7 @@ __all__ = [
     "default_scaling_function",
     "FittedScaling",
     "ScalingFunctionSelector",
+    "fit_robust_scaling",
 ]
 
 
@@ -199,3 +200,34 @@ class ScalingFunctionSelector:
         if denominator <= 0:
             return 0.0
         return float(np.sum(g_values * resources) / denominator)
+
+
+def fit_robust_scaling(
+    feature_values: np.ndarray | Sequence,
+    targets: np.ndarray | Sequence,
+    candidates: Sequence[ScalingFunction] | None = None,
+) -> FittedScaling | None:
+    """Fit the best single-input scaling curve from noisy training pairs.
+
+    Unlike :class:`ScalingFunctionSelector` (which assumes clean calibration
+    sweeps), this entry point tolerates serving-grade data: non-finite or
+    negative observations are dropped, and the fit is rejected entirely
+    (``None``) when fewer than three clean pairs remain or the fitted
+    ``alpha`` is non-finite or non-positive.  Used to build the degradation
+    ladder's per-family scaling fallbacks at training time.
+    """
+    values = np.asarray(feature_values, dtype=np.float64)
+    observed = np.asarray(targets, dtype=np.float64)
+    if values.ndim != 1 or observed.shape != values.shape:
+        raise ValueError(
+            f"fit_robust_scaling needs matching 1-d arrays, got shapes "
+            f"{values.shape} and {observed.shape}"
+        )
+    clean = np.isfinite(values) & np.isfinite(observed) & (observed >= 0.0)
+    values, observed = values[clean], observed[clean]
+    if values.shape[0] < 3:
+        return None
+    best = ScalingFunctionSelector(candidates).select(values, observed)
+    if not np.isfinite(best.alpha) or best.alpha <= 0.0:
+        return None
+    return best

@@ -57,6 +57,8 @@ __all__ = [
     "EstimatorCodecError",
     "ARTIFACT_MAGIC",
     "ARTIFACT_VERSION",
+    "SUPPORTED_ARTIFACT_VERSIONS",
+    "read_artifact_version",
     "pack_envelope",
     "unpack_envelope",
     "estimator_to_bytes",
@@ -212,7 +214,12 @@ class ModelSizeReport:
 ARTIFACT_MAGIC = b"RPROEST\x00"
 #: Current artifact format version.  Bumped on any incompatible layout change;
 #: :func:`load_estimator` refuses other versions instead of guessing.
-ARTIFACT_VERSION = 1
+#: Version 2 added the optional ``robustness`` metadata section (feature
+#: envelopes, per-family rates, scaling fallbacks); version-1 artifacts
+#: still load, with those sections empty.
+ARTIFACT_VERSION = 2
+#: Artifact format versions :func:`load_estimator` accepts.
+SUPPORTED_ARTIFACT_VERSIONS: tuple[int, ...] = (1, 2)
 
 #: Shared envelope after the magic: format version (u16), CRC-32 of the
 #: body (u32).  Both the native codec and the technique-adapter artifacts
@@ -235,13 +242,19 @@ def pack_envelope(magic: bytes, version: int, body: bytes) -> bytes:
     return magic + struct.pack(_ENVELOPE_HEADER, version, zlib.crc32(body)) + body
 
 
-def unpack_envelope(data: bytes, magic: bytes, version: int, kind: str) -> bytes:
-    """Validate an artifact envelope and return its body (strict).
+def unpack_envelope(
+    data: bytes, magic: bytes, version: "int | tuple[int, ...]", kind: str
+) -> tuple[int, bytes]:
+    """Validate an artifact envelope and return ``(version, body)`` (strict).
 
-    Raises :class:`EstimatorCodecError` on a wrong magic, an unsupported
-    format version, or a CRC mismatch (flipped or truncated bytes anywhere
-    in the body).  ``kind`` labels the artifact family in error messages.
+    ``version`` is the accepted format version, or a tuple of them when the
+    codec can read several (the native estimator codec reads both the
+    pre-robustness version 1 and the current version 2).  Raises
+    :class:`EstimatorCodecError` on a wrong magic, an unsupported format
+    version, or a CRC mismatch (flipped or truncated bytes anywhere in the
+    body).  ``kind`` labels the artifact family in error messages.
     """
+    accepted = (version,) if isinstance(version, int) else tuple(version)
     prefix = len(magic)
     if len(data) < prefix + _ENVELOPE_HEADER_BYTES:
         raise EstimatorCodecError(
@@ -252,17 +265,18 @@ def unpack_envelope(data: bytes, magic: bytes, version: int, kind: str) -> bytes
             f"not a repro {kind} artifact (bad magic); refusing to load"
         )
     got_version, crc = struct.unpack_from(_ENVELOPE_HEADER, data, prefix)
-    if got_version != version:
+    if got_version not in accepted:
+        readable = ", ".join(str(v) for v in accepted)
         raise EstimatorCodecError(
             f"unsupported {kind} artifact format version {got_version}; this build "
-            f"reads version {version} only — retrain and re-save the model"
+            f"reads version(s) {readable} only — retrain and re-save the model"
         )
     body = data[prefix + _ENVELOPE_HEADER_BYTES :]
     if zlib.crc32(body) != crc:
         raise EstimatorCodecError(
             f"{kind} artifact checksum mismatch: the file is corrupt or was truncated"
         )
-    return body
+    return int(got_version), body
 
 
 def _encode_tree_full(tree: RegressionTree) -> bytes:
@@ -481,10 +495,44 @@ def estimator_to_bytes(estimator: "ResourceEstimator") -> bytes:
         },
         "trainer_config": _trainer_config_record(estimator.trainer_config),
         "model_sets": model_sets,
+        "robustness": _robustness_record(estimator),
     }
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     body = struct.pack("<I", len(header_bytes)) + header_bytes + bytes(payload)
     return pack_envelope(ARTIFACT_MAGIC, ARTIFACT_VERSION, body)
+
+
+def _robustness_record(estimator: "ResourceEstimator") -> dict:
+    """The version-2 robustness metadata section (pure JSON)."""
+    return {
+        "envelopes": [env.record() for env in estimator.envelopes.values()],
+        "family_rates": [
+            {"family": family.value, "resource": resource, "rate": float(rate)}
+            for (family, resource), rate in estimator.family_rates.items()
+        ],
+        "scaling_fallbacks": [
+            {"family": family.value, "resource": resource, **fallback.record()}
+            for (family, resource), fallback in estimator.scaling_fallbacks.items()
+        ],
+    }
+
+
+def _apply_robustness_record(estimator: "ResourceEstimator", record: dict | None) -> None:
+    """Populate the robustness sections; absent (v1 artifacts) means empty."""
+    from repro.robustness.degradation import ScalingFallback
+    from repro.robustness.envelope import FeatureEnvelope
+
+    if record is None:
+        return
+    for env_record in record.get("envelopes", []):
+        envelope = FeatureEnvelope.from_record(env_record)
+        estimator.envelopes[envelope.family] = envelope
+    for rate_record in record.get("family_rates", []):
+        key = (OperatorFamily(rate_record["family"]), str(rate_record["resource"]))
+        estimator.family_rates[key] = float(rate_record["rate"])
+    for fb_record in record.get("scaling_fallbacks", []):
+        key = (OperatorFamily(fb_record["family"]), str(fb_record["resource"]))
+        estimator.scaling_fallbacks[key] = ScalingFallback.from_record(fb_record)
 
 
 def estimator_from_bytes(data: bytes) -> "ResourceEstimator":
@@ -496,7 +544,9 @@ def estimator_from_bytes(data: bytes) -> "ResourceEstimator":
     """
     from repro.core.estimator import ResourceEstimator, _FallbackModel
 
-    body = unpack_envelope(data, ARTIFACT_MAGIC, ARTIFACT_VERSION, "estimator")
+    _, body = unpack_envelope(
+        data, ARTIFACT_MAGIC, SUPPORTED_ARTIFACT_VERSIONS, "estimator"
+    )
     if len(body) < 4:
         raise EstimatorCodecError("artifact body is truncated")
     (header_len,) = struct.unpack_from("<I", body, 0)
@@ -537,6 +587,7 @@ def estimator_from_bytes(data: bytes) -> "ResourceEstimator":
                 models=models,
                 default_model=models[default_index],
             )
+        _apply_robustness_record(estimator, header.get("robustness"))
     except EstimatorCodecError:
         raise
     except (KeyError, IndexError, TypeError, ValueError, struct.error, RecursionError) as exc:
@@ -559,3 +610,35 @@ def load_estimator(path: str | Path) -> "ResourceEstimator":
     except OSError as exc:
         raise EstimatorCodecError(f"cannot read artifact {path}: {exc}") from exc
     return estimator_from_bytes(data)
+
+
+def read_artifact_version(path: str | Path) -> int:
+    """The format version stored in a native estimator artifact's header.
+
+    Validates the magic and the version (but not the body CRC — this is a
+    cheap metadata peek, not a load).  Raises :class:`EstimatorCodecError`
+    for files that are not native estimator artifacts or carry a version
+    this build cannot read.
+    """
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            head = handle.read(len(ARTIFACT_MAGIC) + _ENVELOPE_HEADER_BYTES)
+    except OSError as exc:
+        raise EstimatorCodecError(f"cannot read artifact {path}: {exc}") from exc
+    if len(head) < len(ARTIFACT_MAGIC) + _ENVELOPE_HEADER_BYTES:
+        raise EstimatorCodecError(
+            f"estimator artifact is truncated ({len(head)} bytes; smaller than the header)"
+        )
+    if head[: len(ARTIFACT_MAGIC)] != ARTIFACT_MAGIC:
+        raise EstimatorCodecError(
+            "not a repro estimator artifact (bad magic); refusing to load"
+        )
+    (version,) = struct.unpack_from("<H", head, len(ARTIFACT_MAGIC))
+    if version not in SUPPORTED_ARTIFACT_VERSIONS:
+        readable = ", ".join(str(v) for v in SUPPORTED_ARTIFACT_VERSIONS)
+        raise EstimatorCodecError(
+            f"unsupported estimator artifact format version {version}; this build "
+            f"reads version(s) {readable} only — retrain and re-save the model"
+        )
+    return int(version)

@@ -1,0 +1,90 @@
+"""Guardrailed serving: validation, degradation, safe artifact lifecycle.
+
+The paper's headline claim is *robust* estimation — accuracy degrades
+gracefully on unseen plans and changed hardware, with the scaling technique
+as the designed fallback when no exact-profile model applies.  This package
+gives the serving stack the matching defensive structure:
+
+* :mod:`repro.robustness.envelope` — per-family training-feature envelopes
+  (min/max/quantiles) recorded at fit time, used for out-of-distribution
+  detection and canary inputs;
+* :mod:`repro.robustness.validation` — :class:`PlanValidator`, which rejects
+  or flags plans with non-finite feature values and detects OOD inputs;
+* :mod:`repro.robustness.degradation` — the explicit fallback ladder (MART
+  model → scaling technique → per-family rate → global default) and the
+  :class:`DegradationReport` attached to every guarded
+  :class:`~repro.core.estimator.WorkloadEstimate`;
+* :mod:`repro.robustness.lifecycle` — bounded-retry artifact loading and
+  canary-checked hot swap for :class:`~repro.api.EstimationService`;
+* :mod:`repro.robustness.faults` — a seeded, deterministic
+  :class:`FaultInjector` that makes every degradation tier and rollback
+  path reachable from tests.
+
+Exports resolve lazily (PEP 562): :mod:`repro.core.estimator` imports the
+``degradation`` and ``envelope`` submodules while ``lifecycle`` imports the
+codec, so an eager ``__init__`` would close an import cycle through
+``core.serialization``.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.robustness.degradation import (
+        DegradationReport,
+        DegradationTier,
+        DegradedOperator,
+        ScalingFallback,
+    )
+    from repro.robustness.envelope import FeatureEnvelope
+    from repro.robustness.faults import FaultInjector
+    from repro.robustness.lifecycle import (
+        ArtifactSwapError,
+        CanaryFailure,
+        CanaryReport,
+        load_estimator_with_retry,
+        run_canary_checks,
+    )
+    from repro.robustness.validation import (
+        PlanValidationError,
+        PlanValidator,
+        ValidationIssue,
+        ValidationReport,
+    )
+
+_EXPORTS: dict[str, str] = {
+    "DegradationTier": "degradation",
+    "DegradedOperator": "degradation",
+    "DegradationReport": "degradation",
+    "ScalingFallback": "degradation",
+    "FeatureEnvelope": "envelope",
+    "PlanValidator": "validation",
+    "PlanValidationError": "validation",
+    "ValidationIssue": "validation",
+    "ValidationReport": "validation",
+    "ArtifactSwapError": "lifecycle",
+    "CanaryFailure": "lifecycle",
+    "CanaryReport": "lifecycle",
+    "load_estimator_with_retry": "lifecycle",
+    "run_canary_checks": "lifecycle",
+    "FaultInjector": "faults",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    module = import_module(f"{__name__}.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

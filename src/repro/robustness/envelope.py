@@ -1,0 +1,136 @@
+"""Per-family training-feature envelopes for OOD detection and canaries.
+
+An envelope records, for one operator family, the observed range and a few
+quantiles of every feature column seen at ``fit`` time.  At serving time the
+envelope answers two questions cheaply and vectorised:
+
+* *how far outside the training distribution is this row?*
+  (:meth:`FeatureEnvelope.out_scores`), and
+* *what does a typical / extreme-but-seen input look like?*
+  (:meth:`FeatureEnvelope.canary_rows`), used by the artifact hot-swap
+  canary checks.
+
+Envelopes are plain data: they round-trip through :meth:`record` /
+:meth:`from_record` and are persisted in the versioned artifact codec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.features.definitions import OperatorFamily, features_for_family
+
+__all__ = ["FeatureEnvelope"]
+
+# Guards the normalisation denominator for constant feature columns.
+_MIN_SPAN = 1e-9
+
+
+@dataclass(frozen=True)
+class FeatureEnvelope:
+    """Observed per-feature bounds and quantiles for one operator family."""
+
+    family: OperatorFamily
+    feature_names: tuple[str, ...]
+    low: np.ndarray
+    high: np.ndarray
+    q05: np.ndarray
+    q50: np.ndarray
+    q95: np.ndarray
+    n_rows: int
+
+    @classmethod
+    def fit(cls, family: OperatorFamily, matrix: np.ndarray) -> "FeatureEnvelope":
+        """Summarise a dense ``(rows, features)`` training matrix."""
+
+        data = np.asarray(matrix, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError(
+                f"envelope for {family.value} needs a non-empty 2-d matrix, "
+                f"got shape {data.shape}"
+            )
+        names = tuple(features_for_family(family))
+        if data.shape[1] != len(names):
+            raise ValueError(
+                f"envelope for {family.value}: expected {len(names)} feature "
+                f"columns, got {data.shape[1]}"
+            )
+        quantiles = np.quantile(data, (0.05, 0.5, 0.95), axis=0)
+        return cls(
+            family=family,
+            feature_names=names,
+            low=np.min(data, axis=0),
+            high=np.max(data, axis=0),
+            q05=quantiles[0],
+            q50=quantiles[1],
+            q95=quantiles[2],
+            n_rows=int(data.shape[0]),
+        )
+
+    def out_scores(self, matrix: np.ndarray) -> np.ndarray:
+        """Per-row OOD score: worst normalised excursion outside [low, high].
+
+        A row fully inside the training box scores 0.0; a score of 1.0 means
+        some feature lies a full training-range beyond the observed bounds.
+        Non-finite features score ``inf`` — they are out of any envelope.
+        """
+
+        data = np.asarray(matrix, dtype=np.float64)
+        if data.ndim != 2 or data.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"envelope for {self.family.value}: expected "
+                f"(rows, {len(self.feature_names)}) matrix, got shape {data.shape}"
+            )
+        span = np.maximum(self.high - self.low, _MIN_SPAN)
+        below = np.maximum(self.low - data, 0.0)
+        above = np.maximum(data - self.high, 0.0)
+        scores = np.max((below + above) / span, axis=1)
+        scores[~np.isfinite(data).all(axis=1)] = np.inf
+        return scores
+
+    def canary_rows(self) -> np.ndarray:
+        """Representative inputs for canary predictions: median, p95, max."""
+
+        return np.stack((self.q50, self.q95, self.high)).astype(np.float64)
+
+    def record(self) -> dict[str, Any]:
+        """JSON-serialisable representation for the artifact codec."""
+
+        return {
+            "family": self.family.value,
+            "feature_names": list(self.feature_names),
+            "low": [float(v) for v in self.low],
+            "high": [float(v) for v in self.high],
+            "q05": [float(v) for v in self.q05],
+            "q50": [float(v) for v in self.q50],
+            "q95": [float(v) for v in self.q95],
+            "n_rows": self.n_rows,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "FeatureEnvelope":
+        family = OperatorFamily(record["family"])
+        names: Sequence[str] = record["feature_names"]
+
+        def _column(key: str) -> np.ndarray:
+            values = np.asarray(record[key], dtype=np.float64)
+            if values.shape != (len(names),):
+                raise ValueError(
+                    f"envelope record for {family.value}: field {key!r} has "
+                    f"shape {values.shape}, expected ({len(names)},)"
+                )
+            return values
+
+        return cls(
+            family=family,
+            feature_names=tuple(str(name) for name in names),
+            low=_column("low"),
+            high=_column("high"),
+            q05=_column("q05"),
+            q50=_column("q50"),
+            q95=_column("q95"),
+            n_rows=int(record["n_rows"]),
+        )

@@ -109,9 +109,10 @@ class TestMain:
         assert "cannot write artifact" in capsys.readouterr().err
 
     def test_models_inspect_rejects_corrupt_file(self, capsys, tmp_path):
+        """Corrupt artifacts are a data error (exit 1), not a usage error."""
         bogus = tmp_path / "bogus.bin"
         bogus.write_bytes(b"\x00" * 32)
-        assert main(["models", "inspect", str(bogus)]) == 2
+        assert main(["models", "inspect", str(bogus)]) == 1
         assert "error:" in capsys.readouterr().err
 
     def test_models_inspect_rejects_pickle_artifacts_without_unpickling(
@@ -125,8 +126,34 @@ class TestMain:
         # Deliberately not a valid envelope: if the CLI tried to parse or
         # unpickle it, the error text would differ.
         path.write_bytes(ADAPTER_MAGIC + b"\x01\x02\x03")
-        assert main(["models", "inspect", str(path)]) == 2
+        assert main(["models", "inspect", str(path)]) == 1
         assert "pickled baseline technique" in capsys.readouterr().err
+
+    def test_estimate_with_missing_artifact_exits_1_with_message(
+        self, capsys, tmp_path
+    ):
+        """A missing model path is a one-line data error, not a traceback."""
+        missing = tmp_path / "no_such_model.bin"
+        assert main(
+            ["estimate", "--model", str(missing), "--profile", "fast"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1  # one line, newline-terminated
+        assert "Traceback" not in err
+
+    def test_estimate_with_corrupt_artifact_exits_1_with_message(
+        self, capsys, tmp_path
+    ):
+        corrupt = tmp_path / "corrupt.bin"
+        corrupt.write_bytes(b"\xde\xad\xbe\xef" * 16)
+        assert main(
+            ["estimate", "--model", str(corrupt), "--profile", "fast"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
 
 
 class TestTrainServeWorkflow:
@@ -150,7 +177,7 @@ class TestTrainServeWorkflow:
     def test_models_inspect_reports_size(self, artifact, capsys):
         assert main(["models", "inspect", str(artifact)]) == 0
         out = capsys.readouterr().out
-        assert "format version: 1" in out
+        assert "format version: 2" in out
         assert "resources: cpu, io" in out
         assert "model sets:" in out
 

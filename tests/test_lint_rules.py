@@ -223,6 +223,44 @@ class TestNoSilentExcept:
         )
         assert rules_of(source) == []
 
+    def test_silent_fallback_assignment_is_flagged(self):
+        # A guard that degrades without telling anyone hides real failures —
+        # the degradation ladder must log every tier switch.
+        source = (
+            "def f(model, matrix, fallback):\n"
+            "    try:\n"
+            "        out = model.predict_batch(matrix)\n"
+            "    except Exception:\n"
+            "        out = fallback.predict_batch(matrix)\n"
+            "    return out\n"
+        )
+        assert rules_of(source) == ["REPRO-R5"]
+
+    def test_logged_guard_except_idiom_is_clean(self):
+        # The robustness guard idiom: narrow exception tuple, a warning log,
+        # then serve the fallback tier.  Both halves must pass the gate.
+        source = (
+            "def f(model, matrix, fallback):\n"
+            "    try:\n"
+            "        out = model.predict_batch(matrix)\n"
+            "    except (ValueError, ArithmeticError, RuntimeError) as exc:\n"
+            "        _LOGGER.warning('model degraded: %s', exc)\n"
+            "        out = fallback.predict_batch(matrix)\n"
+            "    return out\n"
+        )
+        assert rules_of(source) == []
+
+    def test_logged_broad_except_is_clean(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception as exc:\n"
+            "        _LOGGER.exception('unexpected: %s', exc)\n"
+            "        return None\n"
+        )
+        assert rules_of(source) == []
+
 
 # ---------------------------------------------------------------------------
 # REPRO-R6 · dtype-contract

@@ -111,6 +111,82 @@ class TestRoundTrip:
         restored = estimator_from_bytes(estimator_to_bytes(trained_estimator))
         assert restored.trainer_config == tiny_trainer_config
 
+    def test_robustness_metadata_round_trips(self, trained_estimator):
+        """Envelopes, family rates and scaling fallbacks survive the codec exactly."""
+        restored = estimator_from_bytes(estimator_to_bytes(trained_estimator))
+        assert set(restored.envelopes) == set(trained_estimator.envelopes)
+        assert trained_estimator.envelopes  # the fixture trains non-trivially
+        for family, envelope in trained_estimator.envelopes.items():
+            loaded = restored.envelopes[family]
+            assert loaded.feature_names == envelope.feature_names
+            assert np.array_equal(loaded.low, envelope.low)
+            assert np.array_equal(loaded.high, envelope.high)
+            assert np.array_equal(loaded.q05, envelope.q05)
+            assert np.array_equal(loaded.q50, envelope.q50)
+            assert np.array_equal(loaded.q95, envelope.q95)
+            assert loaded.n_rows == envelope.n_rows
+        assert restored.family_rates == trained_estimator.family_rates
+        assert restored.scaling_fallbacks == trained_estimator.scaling_fallbacks
+        assert trained_estimator.family_rates and trained_estimator.scaling_fallbacks
+
+
+def _strip_to_version1(artifact: bytes) -> bytes:
+    """Rewrite a current artifact as a faithful pre-robustness (v1) file."""
+    import json
+
+    from repro.core.serialization import pack_envelope, unpack_envelope
+
+    _, body = unpack_envelope(artifact, ARTIFACT_MAGIC, ARTIFACT_VERSION, "estimator")
+    (header_len,) = struct.unpack_from("<I", body, 0)
+    header = json.loads(body[4 : 4 + header_len])
+    payload = body[4 + header_len :]
+    del header["robustness"]
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return pack_envelope(
+        ARTIFACT_MAGIC, 1, struct.pack("<I", len(header_bytes)) + header_bytes + payload
+    )
+
+
+class TestVersionCompat:
+    """Version-1 artifacts (no robustness section) must keep loading."""
+
+    def test_version1_artifact_loads_with_empty_robustness(self, trained_estimator):
+        restored = estimator_from_bytes(
+            _strip_to_version1(estimator_to_bytes(trained_estimator))
+        )
+        assert restored.envelopes == {}
+        assert restored.family_rates == {}
+        assert restored.scaling_fallbacks == {}
+
+    def test_version1_artifact_serves_identical_estimates(
+        self, trained_estimator, workload_split
+    ):
+        _, test = workload_split
+        plans = [q.plan for q in test[:4]]
+        restored = estimator_from_bytes(
+            _strip_to_version1(estimator_to_bytes(trained_estimator))
+        )
+        for resource in RESOURCES:
+            a = trained_estimator.estimate_workload(plans, (resource,))
+            b = restored.estimate_workload(plans, (resource,))
+            assert np.array_equal(a.query_totals(resource), b.query_totals(resource))
+
+    def test_version1_file_round_trip(self, trained_estimator, tmp_path):
+        path = tmp_path / "v1.bin"
+        path.write_bytes(_strip_to_version1(estimator_to_bytes(trained_estimator)))
+        from repro.core.serialization import read_artifact_version
+
+        assert read_artifact_version(path) == 1
+        restored = load_estimator(path)
+        assert set(restored.model_sets) == set(trained_estimator.model_sets)
+
+    def test_current_artifact_reports_version2(self, trained_estimator, tmp_path):
+        path = tmp_path / "v2.bin"
+        save_estimator(trained_estimator, path)
+        from repro.core.serialization import read_artifact_version
+
+        assert read_artifact_version(path) == ARTIFACT_VERSION == 2
+
 
 class TestStrictLoading:
     @pytest.fixture(scope="class")
@@ -164,9 +240,10 @@ class TestStrictLoading:
         )
 
         artifact = estimator_to_bytes(trained_estimator)
-        body = bytearray(
-            unpack_envelope(artifact, ARTIFACT_MAGIC, ARTIFACT_VERSION, "estimator")
+        _, body_bytes = unpack_envelope(
+            artifact, ARTIFACT_MAGIC, ARTIFACT_VERSION, "estimator"
         )
+        body = bytearray(body_bytes)
         (header_len,) = struct.unpack_from("<I", body, 0)
         header = json.loads(body[4 : 4 + header_len])
         payload_start = 4 + header_len
