@@ -12,6 +12,7 @@ MART models).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -31,7 +32,10 @@ def printer():
 
     pytest captures stdout for passing tests, so the rendered tables are also
     written to one text file per experiment; those files are the artefacts
-    EXPERIMENTS.md refers to.
+    EXPERIMENTS.md refers to.  A machine-readable ``<name>.json`` twin is
+    written next to each ``.txt`` so downstream tooling (regression
+    dashboards, the ROADMAP acceptance links) can consume the numbers
+    without re-parsing the fixed-width rendering.
     """
     results_dir = Path(__file__).parent / "results"
     results_dir.mkdir(exist_ok=True)
@@ -43,5 +47,32 @@ def printer():
         print("=" * 78)
         name = result.experiment_id.lower().replace(" ", "_")
         (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        (results_dir / f"{name}.json").write_text(
+            json.dumps(_as_record(result), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
     return _print
+
+
+def _as_record(result) -> dict:
+    """Structured form of a ResultTable or ResultSeries (duck-typed)."""
+    record: dict[str, object] = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "notes": getattr(result, "notes", ""),
+    }
+    if hasattr(result, "columns"):  # ResultTable
+        record["columns"] = list(result.columns)
+        record["rows"] = [dict(row) for row in result.rows]
+        if getattr(result, "reference", None):
+            record["reference"] = [dict(row) for row in result.reference]
+    else:  # ResultSeries
+        record["x_label"] = result.x_label
+        record["y_label"] = result.y_label
+        record["series"] = {
+            name: [[float(x), float(y)] for x, y in points]
+            for name, points in result.series.items()
+        }
+        record["summary"] = {k: float(v) for k, v in result.summary.items()}
+    return record

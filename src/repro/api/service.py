@@ -120,16 +120,19 @@ class EstimationService:
         retries: int = 3,
         backoff: float = 0.05,
         reader: "Callable[[Path], bytes] | None" = None,
+        mmap: bool = False,
     ) -> "EstimationService":
         """Load a persisted estimator once and wrap it in a serving session.
 
         Transient IO errors are retried up to ``retries`` times with
         exponential backoff (``backoff * 2**attempt`` seconds); decode
         errors fail immediately.  ``reader`` overrides the file reader
-        (used by fault-injection tests).
+        (used by fault-injection tests).  With ``mmap=True`` a version-3
+        artifact's inference arrays are memory-mapped zero-copy instead of
+        decoded, shrinking artifact-to-first-estimate cold start.
         """
         estimator = load_estimator_with_retry(
-            path, retries=retries, backoff=backoff, reader=reader
+            path, retries=retries, backoff=backoff, reader=reader, mmap=mmap
         )
         return cls(estimator=estimator, cache_size=cache_size)
 

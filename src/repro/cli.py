@@ -434,6 +434,29 @@ def _run_models_inspect(args: argparse.Namespace) -> int:
     print(f"models: {report.n_models}")
     print(f"compact-encoding size: {report.total_bytes:,} bytes")
     print(f"largest single model: {report.largest_single_model_bytes:,} bytes")
+    if artifact_version >= 3:
+        ensembles: dict[int, object] = {}
+        for model_set in estimator.model_sets.values():
+            for combined in [*model_set.models, model_set.default_model]:
+                ensembles.setdefault(id(combined), combined)
+        n_trees = n_nodes = array_bytes = 0
+        dtype_summary = ""
+        for combined in ensembles.values():
+            stats = combined.model_.flat_forest().stats()
+            n_trees += stats.n_trees
+            n_nodes += stats.n_nodes
+            array_bytes += stats.array_bytes
+            dtype_summary = stats.dtype_summary
+        print(
+            f"flat layout: {n_trees:,} trees / {n_nodes:,} nodes across "
+            f"{len(ensembles)} compiled ensemble(s), {array_bytes:,} bytes "
+            f"({dtype_summary})"
+        )
+    else:
+        print(
+            "flat layout: not persisted (version < 3); trees will compile to "
+            "flat arrays on first predict"
+        )
     return 0
 
 

@@ -301,10 +301,18 @@ class ResourceEstimator:
         group runs through one vectorised model-selection + MART evaluation.
         """
         plans = list(plans)
-        extracted = [self.extract_plan_features(plan) for plan in plans]
-        return self.estimate_extracted_workload(
+        family_rows = self._extractor.extract_plans(plans)
+        groups: dict[OperatorFamily, list[tuple[int, int]]] = {}
+        matrices: dict[OperatorFamily, np.ndarray] = {}
+        for family, rows in family_rows.items():
+            groups[family] = list(
+                zip(rows.plan_indices.tolist(), rows.node_ids.tolist())
+            )
+            matrices[family] = rows.matrix
+        return self._estimate_grouped(
             plans,
-            extracted,
+            groups,
+            matrices,
             resources,
             guardrails=guardrails,
             ood_threshold=ood_threshold,
@@ -338,20 +346,47 @@ class ResourceEstimator:
         many training-ranges.
         """
         plans = list(plans)
+        groups: dict[OperatorFamily, list[tuple[int, int]]] = {}
+        rows_by_family: dict[OperatorFamily, list[dict[str, float]]] = {}
+        for plan_index, plan_features in enumerate(extracted):
+            for node_id, op_features in plan_features.items():
+                groups.setdefault(op_features.family, []).append((plan_index, node_id))
+                rows_by_family.setdefault(op_features.family, []).append(
+                    op_features.values
+                )
+        matrices = {
+            family: _family_matrix(family, rows)
+            for family, rows in rows_by_family.items()
+        }
+        return self._estimate_grouped(
+            plans,
+            groups,
+            matrices,
+            resources,
+            guardrails=guardrails,
+            ood_threshold=ood_threshold,
+        )
+
+    def _estimate_grouped(
+        self,
+        plans: list[QueryPlan],
+        groups: dict[OperatorFamily, list[tuple[int, int]]],
+        matrices: dict[OperatorFamily, np.ndarray],
+        resources: Sequence[str] | None,
+        *,
+        guardrails: bool,
+        ood_threshold: float | None,
+    ) -> WorkloadEstimate:
+        """Shared tail of the batched path: model evaluation over grouped rows.
+
+        ``groups[family][i]`` is the ``(plan_index, node_id)`` source of row
+        ``i`` of ``matrices[family]``.  Both batched entry points (fresh
+        extraction and the serving layer's cached extraction) land here, so
+        their numbers are identical by construction.
+        """
         resources = tuple(resources) if resources is not None else self.resources
         for resource in resources:
             self._check_resource(resource)
-
-        groups: dict[OperatorFamily, list[tuple[int, int, dict[str, float]]]] = {}
-        for plan_index, plan_features in enumerate(extracted):
-            for node_id, op_features in plan_features.items():
-                groups.setdefault(op_features.family, []).append(
-                    (plan_index, node_id, op_features.values)
-                )
-        matrices = {
-            family: _family_matrix(family, [values for _, _, values in rows])
-            for family, rows in groups.items()
-        }
 
         operator_estimates: dict[str, list[dict[int, float]]] = {
             resource: [{} for _ in plans] for resource in resources
@@ -365,7 +400,7 @@ class ResourceEstimator:
                         family, matrices[family], resource
                     )
                     for row_index, reason in reasons.items():
-                        plan_index, node_id, _ = rows[row_index]
+                        plan_index, node_id = rows[row_index]
                         entries.append(
                             DegradedOperator(
                                 plan_index=plan_index,
@@ -379,7 +414,7 @@ class ResourceEstimator:
                     predictions = self._predict_family_rows(
                         family, matrices[family], resource
                     )
-                for (plan_index, node_id, _), value in zip(rows, predictions):
+                for (plan_index, node_id), value in zip(rows, predictions):
                     per_plan[plan_index][node_id] = float(value)
         degradation = None
         if guardrails:
@@ -637,7 +672,7 @@ class ResourceEstimator:
 
     def _flag_ood_plans(
         self,
-        groups: dict[OperatorFamily, list[tuple[int, int, dict[str, float]]]],
+        groups: dict[OperatorFamily, list[tuple[int, int]]],
         matrices: dict[OperatorFamily, np.ndarray],
         ood_threshold: float | None,
     ) -> dict[int, float]:

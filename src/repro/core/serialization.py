@@ -215,11 +215,14 @@ ARTIFACT_MAGIC = b"RPROEST\x00"
 #: Current artifact format version.  Bumped on any incompatible layout change;
 #: :func:`load_estimator` refuses other versions instead of guessing.
 #: Version 2 added the optional ``robustness`` metadata section (feature
-#: envelopes, per-family rates, scaling fallbacks); version-1 artifacts
-#: still load, with those sections empty.
-ARTIFACT_VERSION = 2
+#: envelopes, per-family rates, scaling fallbacks); version 3 replaced the
+#: per-tree node records with the flat structure-of-arrays ensemble layout
+#: (little-endian, 8-byte aligned) so loading can ``frombuffer``/mmap the
+#: inference arrays directly instead of re-walking nodes.  Version-1/2
+#: artifacts still load, compiling to flat arrays on first use.
+ARTIFACT_VERSION = 3
 #: Artifact format versions :func:`load_estimator` accepts.
-SUPPORTED_ARTIFACT_VERSIONS: tuple[int, ...] = (1, 2)
+SUPPORTED_ARTIFACT_VERSIONS: tuple[int, ...] = (1, 2, 3)
 
 #: Shared envelope after the magic: format version (u16), CRC-32 of the
 #: body (u32).  Both the native codec and the technique-adapter artifacts
@@ -243,16 +246,17 @@ def pack_envelope(magic: bytes, version: int, body: bytes) -> bytes:
 
 
 def unpack_envelope(
-    data: bytes, magic: bytes, version: "int | tuple[int, ...]", kind: str
-) -> tuple[int, bytes]:
+    data: "bytes | memoryview", magic: bytes, version: "int | tuple[int, ...]", kind: str
+) -> "tuple[int, bytes | memoryview]":
     """Validate an artifact envelope and return ``(version, body)`` (strict).
 
     ``version`` is the accepted format version, or a tuple of them when the
-    codec can read several (the native estimator codec reads both the
-    pre-robustness version 1 and the current version 2).  Raises
-    :class:`EstimatorCodecError` on a wrong magic, an unsupported format
-    version, or a CRC mismatch (flipped or truncated bytes anywhere in the
-    body).  ``kind`` labels the artifact family in error messages.
+    codec can read several (the native estimator codec reads versions 1-3).
+    Raises :class:`EstimatorCodecError` on a wrong magic, an unsupported
+    format version, or a CRC mismatch (flipped or truncated bytes anywhere
+    in the body).  ``kind`` labels the artifact family in error messages.
+    ``data`` may be a ``memoryview`` (e.g. over an ``mmap``), in which case
+    the returned body is a zero-copy view.
     """
     accepted = (version,) if isinstance(version, int) else tuple(version)
     prefix = len(magic)
@@ -378,6 +382,104 @@ def _decode_mart_full(data: bytes, config: MARTConfig) -> MARTRegressor:
     return model
 
 
+def _encode_mart_flat(model: MARTRegressor) -> bytes:
+    """Version-3 encoding: the compiled flat arrays, little-endian, aligned.
+
+    Layout (all offsets 8-byte aligned relative to the blob start, which the
+    writer itself aligns within the artifact):
+
+    ========================  =======================================
+    ``<dII``                  initial prediction, n_features, n_trees
+    ``<f8 x n_features`` x2   training lows, training highs
+    ``<II``                   n_nodes, reserved padding (0)
+    ``<i8 x n_trees``         tree root offsets
+    ``<f8 x n_nodes``         thresholds
+    ``<f8 x n_nodes``         leaf values
+    ``<i4 x n_nodes`` x3      feature ids (-1 = leaf), left, right
+    ========================  =======================================
+
+    The 8-byte arrays precede the 4-byte ones so every array keeps natural
+    alignment and the decoder can ``frombuffer`` (or mmap) them in place.
+    """
+    if model.n_features_ is None or model.feature_range_ is None:
+        raise ValueError("cannot serialize an unfitted MART model")
+    forest = model.flat_forest()
+    lows, highs = model.feature_range_
+    out = bytearray(
+        struct.pack(
+            "<dII", float(model.initial_prediction_), model.n_features_, forest.n_trees
+        )
+    )
+    out += np.asarray(lows, dtype="<f8").tobytes()
+    out += np.asarray(highs, dtype="<f8").tobytes()
+    out += struct.pack("<II", forest.n_nodes, 0)
+    out += np.ascontiguousarray(forest.tree_roots, dtype="<i8").tobytes()
+    out += np.ascontiguousarray(forest.threshold, dtype="<f8").tobytes()
+    out += np.ascontiguousarray(forest.leaf_value, dtype="<f8").tobytes()
+    out += np.ascontiguousarray(forest.feature_id, dtype="<i4").tobytes()
+    out += np.ascontiguousarray(forest.left, dtype="<i4").tobytes()
+    out += np.ascontiguousarray(forest.right, dtype="<i4").tobytes()
+    return bytes(out)
+
+
+def _decode_mart_flat(data: "bytes | memoryview", config: MARTConfig) -> MARTRegressor:
+    """Decode a flat MART blob without materialising any ``TreeNode``.
+
+    The node arrays are ``frombuffer`` views over ``data`` (zero-copy when
+    the caller hands in a memoryview over the file or an mmap); structural
+    validity — pre-order child offsets, in-range features, tree boundaries —
+    is checked with vectorised comparisons before the model is accepted.
+    """
+    from repro.ml.flat_ensemble import FlatForest
+
+    prefix = struct.calcsize("<dII")
+    initial, n_features, n_trees = struct.unpack_from("<dII", data, 0)
+    pos = prefix
+    lows = np.frombuffer(data, dtype="<f8", count=n_features, offset=pos).copy()
+    pos += 8 * n_features
+    highs = np.frombuffer(data, dtype="<f8", count=n_features, offset=pos).copy()
+    pos += 8 * n_features
+    n_nodes, _reserved = struct.unpack_from("<II", data, pos)
+    pos += 8
+    expected = pos + 8 * n_trees + (8 + 8 + 4 + 4 + 4) * n_nodes
+    if expected != len(data):
+        raise EstimatorCodecError(
+            f"flat MART payload is {len(data)} bytes, expected {expected}"
+        )
+    tree_roots = np.frombuffer(data, dtype="<i8", count=n_trees, offset=pos)
+    pos += 8 * n_trees
+    threshold = np.frombuffer(data, dtype="<f8", count=n_nodes, offset=pos)
+    pos += 8 * n_nodes
+    leaf_value = np.frombuffer(data, dtype="<f8", count=n_nodes, offset=pos)
+    pos += 8 * n_nodes
+    feature_id = np.frombuffer(data, dtype="<i4", count=n_nodes, offset=pos)
+    pos += 4 * n_nodes
+    left = np.frombuffer(data, dtype="<i4", count=n_nodes, offset=pos)
+    pos += 4 * n_nodes
+    right = np.frombuffer(data, dtype="<i4", count=n_nodes, offset=pos)
+    try:
+        forest = FlatForest(
+            feature_id=feature_id,
+            threshold=threshold,
+            left=left,
+            right=right,
+            leaf_value=leaf_value,
+            tree_roots=tree_roots,
+            learning_rate=config.learning_rate,
+            init_=float(initial),
+            n_features=int(n_features),
+            validate=True,
+        )
+    except ValueError as exc:
+        raise EstimatorCodecError(f"malformed flat ensemble: {exc}") from exc
+    model = MARTRegressor(config)
+    model.initial_prediction_ = float(initial)
+    model.n_features_ = int(n_features)
+    model.feature_range_ = (lows, highs)
+    model._set_compiled(forest)
+    return model
+
+
 def _mart_config_record(config: MARTConfig) -> dict:
     return {
         "n_iterations": config.n_iterations,
@@ -411,11 +513,17 @@ def _trainer_config_from_record(record: dict | None) -> TrainerConfig | None:
     )
 
 
-def _combined_model_record(model: CombinedModel, payload: bytearray) -> dict:
+def _combined_model_record(model: CombinedModel, payload: bytearray, version: int) -> dict:
     """Append the model's MART weights to ``payload``; return its JSON record."""
     if model.model_ is None:
         raise ValueError(f"cannot serialize untrained combined model {model.name}")
-    blob = _encode_mart_full(model.model_)
+    if version >= 3:
+        # Pad so the blob (and therefore its 8-byte arrays) stays aligned;
+        # the writer aligns the payload start within the artifact to match.
+        payload += b"\x00" * (-len(payload) % 8)
+        blob = _encode_mart_flat(model.model_)
+    else:
+        blob = _encode_mart_full(model.model_)
     offset = len(payload)
     payload += blob
     return {
@@ -437,7 +545,11 @@ def _combined_model_record(model: CombinedModel, payload: bytearray) -> dict:
 
 
 def _combined_model_from_record(
-    record: dict, family: OperatorFamily, resource: str, payload: bytes
+    record: dict,
+    family: OperatorFamily,
+    resource: str,
+    payload: "bytes | memoryview",
+    version: int,
 ) -> CombinedModel:
     steps = tuple(
         ScalingStep(feature=s["feature"], function=make_scaling_function(s["function"]))
@@ -453,7 +565,11 @@ def _combined_model_from_record(
     start, length = record["blob_offset"], record["blob_length"]
     if start < 0 or start + length > len(payload):
         raise EstimatorCodecError("model weight blob lies outside the artifact payload")
-    model.model_ = _decode_mart_full(payload[start : start + length], model.mart_config)
+    blob = payload[start : start + length]
+    if version >= 3:
+        model.model_ = _decode_mart_flat(blob, model.mart_config)
+    else:
+        model.model_ = _decode_mart_full(blob, model.mart_config)
     model.training_low_ = {k: float(v) for k, v in record["training_low"].items()}
     model.training_high_ = {k: float(v) for k, v in record["training_high"].items()}
     model.training_error_ = float(record["training_error"])
@@ -463,19 +579,33 @@ def _combined_model_from_record(
     return model
 
 
-def estimator_to_bytes(estimator: "ResourceEstimator") -> bytes:
-    """Serialize a trained ResourceEstimator into a versioned artifact."""
+def estimator_to_bytes(
+    estimator: "ResourceEstimator", version: int = ARTIFACT_VERSION
+) -> bytes:
+    """Serialize a trained ResourceEstimator into a versioned artifact.
+
+    ``version`` selects the artifact layout (any supported version can be
+    written, so tests and benchmarks can produce legacy artifacts): 1 omits
+    the robustness section, 2 stores per-tree node records, 3 (default)
+    stores the flat structure-of-arrays layout with 8-byte alignment so the
+    loader can frombuffer/mmap the inference arrays.
+    """
+    if version not in SUPPORTED_ARTIFACT_VERSIONS:
+        readable = ", ".join(str(v) for v in SUPPORTED_ARTIFACT_VERSIONS)
+        raise ValueError(f"cannot write artifact version {version}; supported: {readable}")
     payload = bytearray()
     model_sets = []
     for (family, resource), model_set in estimator.model_sets.items():
-        records = [_combined_model_record(model, payload) for model in model_set.models]
+        records = [
+            _combined_model_record(model, payload, version) for model in model_set.models
+        ]
         try:
             default_index = next(
                 i for i, m in enumerate(model_set.models) if m is model_set.default_model
             )
         except StopIteration:
             # Degenerate (hand-built) set whose default is not among models.
-            records.append(_combined_model_record(model_set.default_model, payload))
+            records.append(_combined_model_record(model_set.default_model, payload, version))
             default_index = len(records) - 1
         model_sets.append(
             {
@@ -495,11 +625,19 @@ def estimator_to_bytes(estimator: "ResourceEstimator") -> bytes:
         },
         "trainer_config": _trainer_config_record(estimator.trainer_config),
         "model_sets": model_sets,
-        "robustness": _robustness_record(estimator),
     }
+    if version >= 2:
+        header["robustness"] = _robustness_record(estimator)
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if version >= 3:
+        # Pad the JSON (trailing whitespace is legal) so the payload lands on
+        # an 8-byte boundary of the file: magic (8) + envelope header (6) +
+        # length prefix (4) + header must be a multiple of 8 for the blob
+        # arrays to be naturally aligned when the artifact is mmap'd.
+        fixed = len(ARTIFACT_MAGIC) + _ENVELOPE_HEADER_BYTES + 4
+        header_bytes += b" " * (-(fixed + len(header_bytes)) % 8)
     body = struct.pack("<I", len(header_bytes)) + header_bytes + bytes(payload)
-    return pack_envelope(ARTIFACT_MAGIC, ARTIFACT_VERSION, body)
+    return pack_envelope(ARTIFACT_MAGIC, version, body)
 
 
 def _robustness_record(estimator: "ResourceEstimator") -> dict:
@@ -535,17 +673,20 @@ def _apply_robustness_record(estimator: "ResourceEstimator", record: dict | None
         estimator.scaling_fallbacks[key] = ScalingFallback.from_record(fb_record)
 
 
-def estimator_from_bytes(data: bytes) -> "ResourceEstimator":
+def estimator_from_bytes(data: "bytes | bytearray | memoryview") -> "ResourceEstimator":
     """Reconstruct a ResourceEstimator from artifact bytes (strict, versioned).
 
     Raises :class:`EstimatorCodecError` on a wrong magic, an unsupported
     format version, a CRC mismatch (flipped or truncated bytes anywhere in
-    the body) or a structurally invalid metadata section.
+    the body) or a structurally invalid metadata section.  ``data`` may be a
+    ``memoryview`` over an mmap'd file, in which case version-3 inference
+    arrays are zero-copy views into the mapping.
     """
     from repro.core.estimator import ResourceEstimator, _FallbackModel
 
-    _, body = unpack_envelope(
-        data, ARTIFACT_MAGIC, SUPPORTED_ARTIFACT_VERSIONS, "estimator"
+    view = data if isinstance(data, memoryview) else memoryview(bytes(data))
+    version, body = unpack_envelope(
+        view, ARTIFACT_MAGIC, SUPPORTED_ARTIFACT_VERSIONS, "estimator"
     )
     if len(body) < 4:
         raise EstimatorCodecError("artifact body is truncated")
@@ -553,7 +694,7 @@ def estimator_from_bytes(data: bytes) -> "ResourceEstimator":
     if header_len > len(body) - 4:
         raise EstimatorCodecError("artifact metadata length exceeds the body size")
     try:
-        header = json.loads(body[4 : 4 + header_len].decode("utf-8"))
+        header = json.loads(bytes(body[4 : 4 + header_len]).decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
         raise EstimatorCodecError(f"invalid artifact metadata: {exc}") from exc
     if header.get("format") != "repro-estimator":
@@ -572,7 +713,7 @@ def estimator_from_bytes(data: bytes) -> "ResourceEstimator":
             family = OperatorFamily(set_record["family"])
             resource = set_record["resource"]
             models = [
-                _combined_model_from_record(record, family, resource, payload)
+                _combined_model_from_record(record, family, resource, payload, version)
                 for record in set_record["models"]
             ]
             default_index = int(set_record["default_index"])
@@ -595,18 +736,44 @@ def estimator_from_bytes(data: bytes) -> "ResourceEstimator":
     return estimator
 
 
-def save_estimator(estimator: "ResourceEstimator", path: str | Path) -> Path:
+def save_estimator(
+    estimator: "ResourceEstimator", path: str | Path, version: int = ARTIFACT_VERSION
+) -> Path:
     """Write a trained estimator to ``path`` as a versioned artifact."""
     path = Path(path)
-    path.write_bytes(estimator_to_bytes(estimator))
+    path.write_bytes(estimator_to_bytes(estimator, version=version))
     return path
 
 
-def load_estimator(path: str | Path) -> "ResourceEstimator":
-    """Load an estimator artifact written by :func:`save_estimator` (strict)."""
+def mmap_artifact(path: str | Path) -> memoryview:
+    """A read-only zero-copy view over an artifact file.
+
+    Returns a memoryview over an ``mmap.ACCESS_READ`` mapping; the mapping
+    stays alive for as long as any decoded array references it.  Falls back
+    to reading the file when it cannot be mapped (empty file, filesystems
+    without mmap support).
+    """
+    import mmap as _mmap
+
+    path = Path(path)
+    with path.open("rb") as handle:
+        try:
+            mapped = _mmap.mmap(handle.fileno(), 0, access=_mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            return memoryview(path.read_bytes())
+    return memoryview(mapped)
+
+
+def load_estimator(path: str | Path, mmap: bool = False) -> "ResourceEstimator":
+    """Load an estimator artifact written by :func:`save_estimator` (strict).
+
+    With ``mmap=True`` the file is memory-mapped and version-3 inference
+    arrays become zero-copy views into the mapping (pages fault in on first
+    use instead of being read and re-walked up front).
+    """
     path = Path(path)
     try:
-        data = path.read_bytes()
+        data: "bytes | memoryview" = mmap_artifact(path) if mmap else path.read_bytes()
     except OSError as exc:
         raise EstimatorCodecError(f"cannot read artifact {path}: {exc}") from exc
     return estimator_from_bytes(data)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.ml.flat_ensemble import FlatForest, compile_mart
 from repro.ml.regression_tree import RegressionTree
 
 __all__ = ["MARTRegressor", "MARTConfig"]
@@ -59,9 +60,56 @@ class MARTRegressor:
             raise ValueError("subsample must be in (0, 1]")
         self.config = base
         self.initial_prediction_: float = 0.0
-        self.trees_: list[RegressionTree] = []
+        self._trees: list[RegressionTree] | None = []
+        self._compiled: FlatForest | None = None
         self.n_features_: int | None = None
         self.feature_range_: tuple[np.ndarray, np.ndarray] | None = None
+
+    # -- compiled representation --------------------------------------------------------------
+    @property
+    def trees_(self) -> list[RegressionTree]:
+        """The fitted trees, materialised on demand.
+
+        A model restored from a v3 artifact holds only the compiled
+        :class:`FlatForest`; accessing ``trees_`` decompiles it back into
+        ``TreeNode`` trees (introspection, legacy-format encoding).
+        """
+        if self._trees is None:
+            assert self._compiled is not None
+            trees: list[RegressionTree] = []
+            for root in self._compiled.tree_root_nodes():
+                tree = RegressionTree(
+                    max_leaves=max(self.config.max_leaves, 2),
+                    min_samples_leaf=self.config.min_samples_leaf,
+                )
+                tree.root = root
+                tree.n_features_ = self._compiled.n_features
+                trees.append(tree)
+            self._trees = trees
+        return self._trees
+
+    @trees_.setter
+    def trees_(self, trees: list[RegressionTree]) -> None:
+        self._trees = trees
+        self._compiled = None
+
+    def flat_forest(self) -> FlatForest:
+        """The ensemble compiled to flat arrays (cached; see flat_ensemble)."""
+        if self._compiled is None:
+            self._compiled = compile_mart(self)
+        return self._compiled
+
+    def _set_compiled(self, forest: FlatForest) -> None:
+        """Adopt a decoded flat forest without materialising ``TreeNode``s."""
+        self._trees = None
+        self._compiled = forest
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        if state["_trees"] is None:
+            state["_trees"] = self.trees_  # pickle the portable representation
+        state["_compiled"] = None
+        return state
 
     # -- fitting ----------------------------------------------------------------------------
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "MARTRegressor":
@@ -115,6 +163,29 @@ class MARTRegressor:
             raise ValueError(
                 f"expected {self.n_features_} features, got {features.shape[1]}"
             )
+        # ``initial_prediction_`` / ``learning_rate`` are passed at call time:
+        # they may have been mutated (e.g. by fault injection) after compile.
+        out = self.flat_forest().predict(
+            features, init=self.initial_prediction_, rate=self.config.learning_rate
+        )
+        return out[0:1] if single else out
+
+    def predict_per_tree(self, features: np.ndarray) -> np.ndarray:
+        """Reference node-walking path: the sequential per-tree fold.
+
+        Kept for parity testing and benchmarking against the compiled
+        flat-array kernel; :meth:`predict` must be bit-identical to this.
+        """
+        if self.n_features_ is None:
+            raise RuntimeError("model has not been fitted")
+        features = np.asarray(features, dtype=np.float64)
+        single = features.ndim == 1
+        if single:
+            features = features.reshape(1, -1)
+        if features.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {features.shape[1]}"
+            )
         out = np.full(features.shape[0], self.initial_prediction_, dtype=np.float64)
         rate = self.config.learning_rate
         for tree in self.trees_:
@@ -124,7 +195,10 @@ class MARTRegressor:
     # -- introspection -----------------------------------------------------------------------
     @property
     def n_trees(self) -> int:
-        return len(self.trees_)
+        if self._trees is None:
+            assert self._compiled is not None
+            return self._compiled.n_trees
+        return len(self._trees)
 
     def training_range(self, feature_index: int) -> tuple[float, float]:
         """(low, high) of a feature over the training data (for out_ratio)."""

@@ -95,8 +95,27 @@ class RegressionTree:
             raise ValueError("min_samples_leaf must be >= 1")
         self.max_leaves = max_leaves
         self.min_samples_leaf = min_samples_leaf
-        self.root: TreeNode | None = None
+        self._root: TreeNode | None = None
+        self._flat_cache: (
+            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
         self.n_features_: int | None = None
+
+    @property
+    def root(self) -> TreeNode | None:
+        return self._root
+
+    @root.setter
+    def root(self, node: TreeNode | None) -> None:
+        # Reassigning the root (fit, codec load paths, hand-built trees)
+        # invalidates the vectorised-prediction cache.
+        self._root = node
+        self._flat_cache = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_flat_cache"] = None
+        return state
 
     # -- fitting --------------------------------------------------------------------------
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "RegressionTree":
@@ -110,7 +129,6 @@ class RegressionTree:
         if features.shape[0] == 0:
             raise ValueError("cannot fit a tree on an empty dataset")
         self.n_features_ = features.shape[1]
-        self._flat_cache = None  # invalidate the vectorised-prediction cache
 
         all_rows = np.arange(features.shape[0], dtype=np.int64)
         self.root = TreeNode(value=float(targets.mean()), n_samples=features.shape[0])
@@ -257,9 +275,8 @@ class RegressionTree:
 
     def _flat(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Array encoding of the tree (cached) for vectorised prediction."""
-        cached = getattr(self, "_flat_cache", None)
-        if cached is not None:
-            return cached
+        if self._flat_cache is not None:
+            return self._flat_cache
         nodes: list[TreeNode] = []
 
         def collect(node: TreeNode) -> int:

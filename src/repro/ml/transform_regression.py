@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.ml.flat_ensemble import FlatForest, compile_transform
 from repro.ml.linear import LinearRegressor
 from repro.ml.regression_tree import RegressionTree
 
@@ -88,6 +89,18 @@ class TransformRegressor:
         self.stages_: list[_LinearLeafStage] = []
         self.n_features_: int | None = None
         self.clip_negative = True
+        self._compiled: FlatForest | None = None
+
+    def flat_forest(self) -> FlatForest:
+        """Stages compiled to flat arrays (leaf linears become slope tables)."""
+        if self._compiled is None or self._compiled.clip_negative != self.clip_negative:
+            self._compiled = compile_transform(self)
+        return self._compiled
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_compiled"] = None
+        return state
 
     # -- fitting ---------------------------------------------------------------------------
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "TransformRegressor":
@@ -104,6 +117,7 @@ class TransformRegressor:
         self.initial_prediction_ = float(targets.mean())
         predictions = np.full(features.shape[0], self.initial_prediction_, dtype=np.float64)
         self.stages_ = []
+        self._compiled = None
         for _ in range(cfg.n_iterations):
             residuals = targets - predictions
             if np.max(np.abs(residuals)) < 1e-12:
@@ -159,6 +173,19 @@ class TransformRegressor:
 
     # -- prediction -------------------------------------------------------------------------
     def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.n_features_ is None:
+            raise RuntimeError("model has not been fitted")
+        features = np.asarray(features, dtype=np.float64)
+        single = features.ndim == 1
+        if single:
+            features = features.reshape(1, -1)
+        out = self.flat_forest().predict(
+            features, init=self.initial_prediction_, rate=self.config.learning_rate
+        )
+        return out[0:1] if single else out
+
+    def predict_per_stage(self, features: np.ndarray) -> np.ndarray:
+        """Reference node-walking path (per-stage fold), for parity testing."""
         if self.n_features_ is None:
             raise RuntimeError("model has not been fitted")
         features = np.asarray(features, dtype=np.float64)

@@ -55,6 +55,7 @@ def load_estimator_with_retry(
     backoff: float = 0.05,
     sleep: Callable[[float], None] = time.sleep,
     reader: "Callable[[Path], bytes] | None" = None,
+    mmap: bool = False,
 ) -> "ResourceEstimator":
     """Load an artifact, retrying transient IO errors with backoff.
 
@@ -65,14 +66,29 @@ def load_estimator_with_retry(
     Decode failures raise
     :class:`~repro.core.serialization.EstimatorCodecError` immediately; so
     does the final IO failure, chained from the underlying ``OSError``.
+
+    With ``mmap=True`` (and no custom ``reader``) the artifact is
+    memory-mapped instead of read, so version-3 inference arrays are
+    zero-copy views into the file (see
+    :func:`repro.core.serialization.load_estimator`).
     """
 
-    from repro.core.serialization import EstimatorCodecError, estimator_from_bytes
+    from repro.core.serialization import (
+        EstimatorCodecError,
+        estimator_from_bytes,
+        mmap_artifact,
+    )
 
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
     resolved = Path(path)
-    read: Callable[[Path], bytes] = reader if reader is not None else Path.read_bytes
+    read: "Callable[[Path], bytes | memoryview]"
+    if reader is not None:
+        read = reader
+    elif mmap:
+        read = mmap_artifact
+    else:
+        read = Path.read_bytes
     last_error: OSError | None = None
     for attempt in range(retries + 1):
         if attempt:

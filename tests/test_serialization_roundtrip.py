@@ -130,62 +130,51 @@ class TestRoundTrip:
         assert trained_estimator.family_rates and trained_estimator.scaling_fallbacks
 
 
-def _strip_to_version1(artifact: bytes) -> bytes:
-    """Rewrite a current artifact as a faithful pre-robustness (v1) file."""
-    import json
-
-    from repro.core.serialization import pack_envelope, unpack_envelope
-
-    _, body = unpack_envelope(artifact, ARTIFACT_MAGIC, ARTIFACT_VERSION, "estimator")
-    (header_len,) = struct.unpack_from("<I", body, 0)
-    header = json.loads(body[4 : 4 + header_len])
-    payload = body[4 + header_len :]
-    del header["robustness"]
-    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    return pack_envelope(
-        ARTIFACT_MAGIC, 1, struct.pack("<I", len(header_bytes)) + header_bytes + payload
-    )
-
-
 class TestVersionCompat:
-    """Version-1 artifacts (no robustness section) must keep loading."""
+    """Version-1/2 artifacts (node records) must keep loading and serving."""
 
     def test_version1_artifact_loads_with_empty_robustness(self, trained_estimator):
         restored = estimator_from_bytes(
-            _strip_to_version1(estimator_to_bytes(trained_estimator))
+            estimator_to_bytes(trained_estimator, version=1)
         )
         assert restored.envelopes == {}
         assert restored.family_rates == {}
         assert restored.scaling_fallbacks == {}
 
-    def test_version1_artifact_serves_identical_estimates(
-        self, trained_estimator, workload_split
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_legacy_artifact_serves_identical_estimates(
+        self, trained_estimator, workload_split, version
     ):
         _, test = workload_split
         plans = [q.plan for q in test[:4]]
         restored = estimator_from_bytes(
-            _strip_to_version1(estimator_to_bytes(trained_estimator))
+            estimator_to_bytes(trained_estimator, version=version)
         )
         for resource in RESOURCES:
             a = trained_estimator.estimate_workload(plans, (resource,))
             b = restored.estimate_workload(plans, (resource,))
             assert np.array_equal(a.query_totals(resource), b.query_totals(resource))
 
-    def test_version1_file_round_trip(self, trained_estimator, tmp_path):
-        path = tmp_path / "v1.bin"
-        path.write_bytes(_strip_to_version1(estimator_to_bytes(trained_estimator)))
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_legacy_file_round_trip(self, trained_estimator, tmp_path, version):
+        path = tmp_path / f"v{version}.bin"
+        save_estimator(trained_estimator, path, version=version)
         from repro.core.serialization import read_artifact_version
 
-        assert read_artifact_version(path) == 1
+        assert read_artifact_version(path) == version
         restored = load_estimator(path)
         assert set(restored.model_sets) == set(trained_estimator.model_sets)
 
-    def test_current_artifact_reports_version2(self, trained_estimator, tmp_path):
-        path = tmp_path / "v2.bin"
+    def test_unsupported_write_version_rejected(self, trained_estimator):
+        with pytest.raises(ValueError, match="version"):
+            estimator_to_bytes(trained_estimator, version=ARTIFACT_VERSION + 1)
+
+    def test_current_artifact_reports_version3(self, trained_estimator, tmp_path):
+        path = tmp_path / "v3.bin"
         save_estimator(trained_estimator, path)
         from repro.core.serialization import read_artifact_version
 
-        assert read_artifact_version(path) == ARTIFACT_VERSION == 2
+        assert read_artifact_version(path) == ARTIFACT_VERSION == 3
 
 
 class TestStrictLoading:
@@ -239,10 +228,8 @@ class TestStrictLoading:
             unpack_envelope,
         )
 
-        artifact = estimator_to_bytes(trained_estimator)
-        _, body_bytes = unpack_envelope(
-            artifact, ARTIFACT_MAGIC, ARTIFACT_VERSION, "estimator"
-        )
+        artifact = estimator_to_bytes(trained_estimator, version=2)
+        _, body_bytes = unpack_envelope(artifact, ARTIFACT_MAGIC, 2, "estimator")
         body = bytearray(body_bytes)
         (header_len,) = struct.unpack_from("<I", body, 0)
         header = json.loads(body[4 : 4 + header_len])
@@ -260,8 +247,42 @@ class TestStrictLoading:
         struct.pack_into(
             _FULL_NODE_FORMAT, body, tree_off + 4, feature, n_nodes + 7, value
         )
-        rebuilt = pack_envelope(ARTIFACT_MAGIC, ARTIFACT_VERSION, bytes(body))
+        rebuilt = pack_envelope(ARTIFACT_MAGIC, 2, bytes(body))
         with pytest.raises(EstimatorCodecError):
+            estimator_from_bytes(rebuilt)
+
+    def test_crc_valid_but_malformed_flat_arrays_rejected(self, trained_estimator):
+        """Version-3 flat arrays get the same strict structural validation:
+        a right-child offset pointing past the tree must fail as a codec
+        error even though the checksum is intact."""
+        import json
+
+        from repro.core.serialization import pack_envelope, unpack_envelope
+
+        artifact = estimator_to_bytes(trained_estimator)
+        _, body_bytes = unpack_envelope(
+            artifact, ARTIFACT_MAGIC, ARTIFACT_VERSION, "estimator"
+        )
+        body = bytearray(body_bytes)
+        (header_len,) = struct.unpack_from("<I", body, 0)
+        header = json.loads(body[4 : 4 + header_len])
+        payload_start = 4 + header_len
+        record = header["model_sets"][0]["models"][0]
+        mart_off = payload_start + record["blob_offset"]
+        (_, n_features, n_trees) = struct.unpack_from("<dII", body, mart_off)
+        counts_off = mart_off + struct.calcsize("<dII") + 16 * n_features
+        (n_nodes, _) = struct.unpack_from("<II", body, counts_off)
+        right_off = (
+            counts_off + 8 + 8 * n_trees + 16 * n_nodes + 8 * n_nodes
+        )  # roots + thresholds/values + feature/left arrays
+        (root_feature,) = struct.unpack_from(
+            "<i", body, counts_off + 8 + 8 * n_trees + 16 * n_nodes
+        )
+        if root_feature < 0:
+            pytest.skip("first tree is a stump")
+        struct.pack_into("<i", body, right_off, n_nodes + 7)
+        rebuilt = pack_envelope(ARTIFACT_MAGIC, ARTIFACT_VERSION, bytes(body))
+        with pytest.raises(EstimatorCodecError, match="flat ensemble"):
             estimator_from_bytes(rebuilt)
 
     def test_magic_is_stable(self, artifact):
