@@ -7,6 +7,10 @@ path pays one Python-side selection and tree walk per operator.  On a
 500-query workload the batched path must be at least an order of magnitude
 faster — this is what makes the paper's "prediction overhead is negligible"
 claim (Section 7.3) hold at production workload scale.
+
+Both measurements are persisted by the ``printer`` fixture as a ``.txt``
+rendering plus a machine-readable ``.json`` twin under
+``benchmarks/results/`` (the serve/guard/flat benchmark exchange format).
 """
 
 from __future__ import annotations

@@ -1,0 +1,68 @@
+"""Benchmark: coalesced concurrent serving vs the sequential single caller.
+
+The acceptance benchmark of the concurrent serving layer
+(:mod:`repro.serving`): a seeded closed-loop load over the standard TPC-H
+scenario mix must sustain **at least 2x** the single-threaded sequential
+request rate on the identical trace, with p99 latency inside the
+``max_wait_ms`` + single-batch-service-time budget and zero request errors.
+
+The full :class:`~repro.serving.bench.ServeBenchResult` record is persisted
+as ``benchmarks/results/serve_load.json`` (flat key/value JSON, the same
+record ``repro serve-bench --out`` writes) next to a ``serve_load.txt``
+rendering.  Opt-in like the other reproductions:
+``pytest benchmarks/test_serve_load.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import train_scaling_estimator
+from repro.api.service import EstimationService
+from repro.serving import LoadConfig, ServeBenchConfig, run_serve_bench, standard_scenarios
+
+#: Reduced boosting budget (same spirit as the batch-overhead benchmark):
+#: the serving layer's coalescing win is what is measured, not model size.
+_TRAIN_QUERIES = 96
+_ITERATIONS = 40
+
+
+def test_serve_load_sustains_2x_under_latency_budget(benchmark, experiment_config):
+    estimator = train_scaling_estimator(
+        experiment_config,
+        ("cpu", "io"),
+        n_queries=_TRAIN_QUERIES,
+        iterations=_ITERATIONS,
+    )
+    service = EstimationService(estimator)
+    scenarios = standard_scenarios("tpch")
+    config = ServeBenchConfig(
+        load=LoadConfig(mode="closed", requests=1200, warmup=100, concurrency=8, seed=17),
+        max_batch_size=96,
+        max_wait_ms=2.0,
+    )
+    result = benchmark.pedantic(
+        run_serve_bench, args=(service, scenarios, config), iterations=1, rounds=1
+    )
+
+    text = result.render()
+    print("\n" + "=" * 78)
+    print(text)
+    print("=" * 78)
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "serve_load.txt").write_text(text + "\n", encoding="utf-8")
+    (results_dir / "serve_load.json").write_text(
+        json.dumps(result.to_record(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    assert result.report.errors == 0
+    assert result.throughput_ratio >= 2.0, (
+        f"coalesced serving only {result.throughput_ratio:.2f}x the sequential rate"
+    )
+    assert result.p99_within_budget, (
+        f"p99 {result.report.latency.p99_ms:.2f} ms over the "
+        f"{result.p99_budget_ms:.2f} ms budget"
+    )

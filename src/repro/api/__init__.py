@@ -39,7 +39,7 @@ from repro.api.registry import (
     register_estimator,
     standard_lineup,
 )
-from repro.api.service import EstimationService, ServiceStats
+from repro.api.service import EstimationService, ServiceStats, StatsSnapshot
 from repro.core.serialization import (
     ARTIFACT_MAGIC,
     EstimatorCodecError,
@@ -66,6 +66,7 @@ __all__ = [
     "standard_lineup",
     "EstimationService",
     "ServiceStats",
+    "StatsSnapshot",
     "EstimatorCodecError",
     "load_artifact",
 ]

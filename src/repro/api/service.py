@@ -25,6 +25,13 @@ ladder), every estimate carries a
 :meth:`EstimationService.swap_artifact` hot-swaps the live model only after
 the candidate passes canary predictions — rolling back to the incumbent
 otherwise.
+
+The session is **thread-safe**: the feature cache, the stats counters and
+the estimator/validator pair are guarded by locks, so any number of caller
+threads (or the micro-batch coalescer in :mod:`repro.serving`) can share
+one service.  A concurrent :meth:`swap_artifact` is atomic with respect to
+readers — every ``estimate_workload`` call runs entirely against one
+(estimator, validator) pair, never a half-swapped mix.
 """
 
 # repro: hot-path — batched estimation code; lint rules R1/R6 apply.
@@ -32,10 +39,13 @@ otherwise.
 from __future__ import annotations
 
 import logging
-from collections import OrderedDict
-from dataclasses import dataclass, field
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Callable, Iterable, Literal, Sequence
+
+import numpy as np
 
 from repro.core.estimator import ResourceEstimator, WorkloadEstimate
 from repro.core.serialization import ModelSizeReport
@@ -48,14 +58,48 @@ from repro.robustness.lifecycle import (
 )
 from repro.robustness.validation import PlanValidator, ValidationReport
 
-__all__ = ["EstimationService", "ServiceStats"]
+__all__ = ["EstimationService", "ServiceStats", "StatsSnapshot"]
 
 _LOGGER = logging.getLogger("repro.api.service")
+
+#: Sliding-window size of the queue-wait reservoir (newest samples win).
+_QUEUE_WAIT_WINDOW = 4096
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """A consistent point-in-time copy of one session's :class:`ServiceStats`.
+
+    Taken under the stats lock, so the counters are mutually consistent even
+    while other threads keep serving.
+    """
+
+    workloads_served: int
+    plans_served: int
+    cache_hits: int
+    cache_misses: int
+    degraded_operators: int
+    ood_plans_flagged: int
+    swaps: int
+    failed_swaps: int
+    batches_served: int
+    plans_coalesced: int
+    hit_rate: float
+    queue_wait_p50_ms: float
+    queue_wait_p95_ms: float
+    #: Queue-wait samples currently in the sliding window.
+    queue_wait_samples: int
 
 
 @dataclass
 class ServiceStats:
-    """Counters describing one service session."""
+    """Counters describing one service session.
+
+    All fields stay directly readable (and, in tests, writable); concurrent
+    writers must hold :attr:`lock` — :class:`EstimationService` and the
+    micro-batch coalescer do.  :meth:`snapshot` returns a consistent copy
+    taken under the lock.
+    """
 
     workloads_served: int = 0
     plans_served: int = 0
@@ -68,11 +112,69 @@ class ServiceStats:
     #: Successful / rejected artifact hot-swaps.
     swaps: int = 0
     failed_swaps: int = 0
+    #: Micro-batches served by a coalescing front (``repro.serving``).
+    batches_served: int = 0
+    #: Plans that rode a coalesced micro-batch.
+    plans_coalesced: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._queue_waits_ms: deque[float] = deque(maxlen=_QUEUE_WAIT_WINDOW)
+
+    @property
+    def lock(self) -> threading.Lock:
+        """The lock serialising every mutation of this stats object."""
+        return self._lock
 
     @property
     def hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    def record_batch(
+        self, n_requests: int, n_plans: int, queue_waits_ms: Sequence[float]
+    ) -> None:
+        """Account one served micro-batch (coalescer bookkeeping)."""
+        with self._lock:
+            self.batches_served += 1
+            self.plans_coalesced += n_plans
+            self._queue_waits_ms.extend(float(wait) for wait in queue_waits_ms)
+
+    def _queue_wait_percentile(self, percentile: float) -> float:
+        if not self._queue_waits_ms:
+            return 0.0
+        return float(
+            np.percentile(
+                np.asarray(self._queue_waits_ms, dtype=np.float64), percentile
+            )
+        )
+
+    @property
+    def queue_wait_p50_ms(self) -> float:
+        """Median queue wait over the sliding sample window (ms)."""
+        with self._lock:
+            return self._queue_wait_percentile(50.0)
+
+    @property
+    def queue_wait_p95_ms(self) -> float:
+        """95th-percentile queue wait over the sliding sample window (ms)."""
+        with self._lock:
+            return self._queue_wait_percentile(95.0)
+
+    def snapshot(self) -> StatsSnapshot:
+        """A mutually consistent copy of every counter, taken under the lock."""
+        with self._lock:
+            counters = {
+                f.name: getattr(self, f.name) for f in fields(ServiceStats)
+            }
+            hits, misses = counters["cache_hits"], counters["cache_misses"]
+            return StatsSnapshot(
+                hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+                queue_wait_p50_ms=self._queue_wait_percentile(50.0),
+                queue_wait_p95_ms=self._queue_wait_percentile(95.0),
+                queue_wait_samples=len(self._queue_waits_ms),
+                **counters,
+            )
 
 
 @dataclass
@@ -110,6 +212,10 @@ class EstimationService:
         self._feature_cache: OrderedDict[
             int, tuple[QueryPlan, dict[int, OperatorFeatures]]
         ] = OrderedDict()
+        # Guards the feature cache and the (estimator, validator) pair; RLock
+        # so promote -> _build_validator can nest.  Never held while stats
+        # counters are updated (no nested lock orders to deadlock on).
+        self._lock = threading.RLock()
         self._validator = self._build_validator()
 
     @classmethod
@@ -154,22 +260,28 @@ class EstimationService:
         being estimated.
         """
         plans = list(plans)
-        extracted = [self._plan_features(plan) for plan in plans]
+        # One consistent (estimator, validator) pair for the whole call, so a
+        # concurrent swap_artifact can never mix models mid-estimate.
+        with self._lock:
+            estimator = self.estimator
+            validator = self._validator
+        extracted = [self._plan_features(plan, estimator) for plan in plans]
         if self.guardrails and self.on_invalid == "reject":
-            self._validator.require_valid(extracted)
-        estimate = self.estimator.estimate_extracted_workload(
+            validator.require_valid(extracted)
+        estimate = estimator.estimate_extracted_workload(
             plans,
             extracted,
             resources,
             guardrails=self.guardrails,
             ood_threshold=self.ood_threshold if self.guardrails else None,
         )
-        self.stats.workloads_served += 1
-        self.stats.plans_served += len(plans)
         report = estimate.degradation
-        if report is not None and not report.clean:
-            self.stats.degraded_operators += report.count
-            self.stats.ood_plans_flagged += len(report.ood_plans)
+        with self.stats.lock:
+            self.stats.workloads_served += 1
+            self.stats.plans_served += len(plans)
+            if report is not None and not report.clean:
+                self.stats.degraded_operators += report.count
+                self.stats.ood_plans_flagged += len(report.ood_plans)
         return estimate
 
     def estimate_query(self, plan: QueryPlan, resource: str = "cpu") -> float:
@@ -178,8 +290,11 @@ class EstimationService:
 
     def validate_workload(self, plans: Iterable[QueryPlan]) -> ValidationReport:
         """Pre-flight validation only: no estimation, no stats updates."""
-        return self._validator.validate_workload(
-            [self._plan_features(plan) for plan in plans]
+        with self._lock:
+            estimator = self.estimator
+            validator = self._validator
+        return validator.validate_workload(
+            [self._plan_features(plan, estimator) for plan in plans]
         )
 
     # -- artifact lifecycle ----------------------------------------------------------------------
@@ -206,32 +321,34 @@ class EstimationService:
 
         Returns the estimator that was replaced.
         """
+        with self._lock:
+            incumbent = self.estimator
         try:
             candidate = load_estimator_with_retry(
                 path, retries=retries, backoff=backoff, reader=reader
             )
         except (OSError, ValueError) as exc:
-            self.stats.failed_swaps += 1
+            self._count_failed_swap()
             _LOGGER.warning("artifact swap rejected (load failed): %s", exc)
             raise ArtifactSwapError(
                 f"candidate artifact {path} failed to load: {exc}"
             ) from exc
-        if candidate.feature_mode is not self.estimator.feature_mode:
-            self.stats.failed_swaps += 1
+        if candidate.feature_mode is not incumbent.feature_mode:
+            self._count_failed_swap()
             raise ArtifactSwapError(
                 f"candidate feature mode {candidate.feature_mode.value!r} does not "
-                f"match the live session ({self.estimator.feature_mode.value!r})"
+                f"match the live session ({incumbent.feature_mode.value!r})"
             )
-        missing = [r for r in self.estimator.resources if r not in candidate.resources]
+        missing = [r for r in incumbent.resources if r not in candidate.resources]
         if missing:
-            self.stats.failed_swaps += 1
+            self._count_failed_swap()
             raise ArtifactSwapError(
                 f"candidate artifact does not model resource(s) {missing} served "
                 "by the live session"
             )
         report = run_canary_checks(candidate, margin=canary_margin)
         if not report.passed:
-            self.stats.failed_swaps += 1
+            self._count_failed_swap()
             details = "; ".join(
                 f"{f.family.value if f.family else 'global'}/{f.resource}: {f.reason}"
                 for f in report.failures[:3]
@@ -240,11 +357,17 @@ class EstimationService:
             raise ArtifactSwapError(
                 f"candidate artifact {path} failed canary checks: {details}"
             )
-        previous = self.estimator
-        self.estimator = candidate
-        self._validator = self._build_validator()
-        self.clear_cache()
-        self.stats.swaps += 1
+        # Promote atomically: estimator, validator and cache flip together
+        # under the lock, so in-flight estimates (which captured the previous
+        # pair up front) finish on the old model and new calls see only the
+        # new one — never a mix.
+        with self._lock:
+            previous = self.estimator
+            self.estimator = candidate
+            self._validator = self._build_validator()
+            self._feature_cache.clear()
+        with self.stats.lock:
+            self.stats.swaps += 1
         return previous
 
     # -- introspection ---------------------------------------------------------------------------
@@ -261,31 +384,52 @@ class EstimationService:
         return ModelSizeReport.for_estimator(self.estimator)
 
     def clear_cache(self) -> None:
-        self._feature_cache.clear()
+        with self._lock:
+            self._feature_cache.clear()
 
     # -- internals ---------------------------------------------------------------------------------
+    def _count_failed_swap(self) -> None:
+        with self.stats.lock:
+            self.stats.failed_swaps += 1
+
     def _build_validator(self) -> PlanValidator:
         return PlanValidator.for_estimator(
             self.estimator,
             ood_threshold=self.ood_threshold if self.ood_threshold is not None else 1.0,
         )
 
-    def _plan_features(self, plan: QueryPlan) -> dict[int, OperatorFeatures]:
+    def _plan_features(
+        self, plan: QueryPlan, estimator: ResourceEstimator | None = None
+    ) -> dict[int, OperatorFeatures]:
+        if estimator is None:
+            with self._lock:
+                estimator = self.estimator
         key = id(plan)
-        cached = self._feature_cache.get(key)
+        with self._lock:
+            cached = self._feature_cache.get(key)
+            if cached is not None:
+                if cached[0] is plan:
+                    self._feature_cache.move_to_end(key)
+                else:
+                    # id() was recycled for a new plan object: the cached entry
+                    # is stale and can never hit again — drop it before
+                    # re-populating.
+                    del self._feature_cache[key]
+                    cached = None
         if cached is not None:
-            if cached[0] is plan:
-                self._feature_cache.move_to_end(key)
+            with self.stats.lock:
                 self.stats.cache_hits += 1
-                return cached[1]
-            # id() was recycled for a new plan object: the cached entry is
-            # stale and can never hit again — drop it before re-populating.
-            del self._feature_cache[key]
-        features = self.estimator.extract_plan_features(plan)
-        self.stats.cache_misses += 1
+            return cached[1]
+        # Extraction runs outside the lock: concurrent misses on the same plan
+        # may extract twice, but the results are identical and last-write-wins
+        # keeps the cache coherent.
+        features = estimator.extract_plan_features(plan)
+        with self.stats.lock:
+            self.stats.cache_misses += 1
         if self.cache_size > 0:
-            self._feature_cache[key] = (plan, features)
-            self._feature_cache.move_to_end(key)
-            while len(self._feature_cache) > self.cache_size:
-                self._feature_cache.popitem(last=False)
+            with self._lock:
+                self._feature_cache[key] = (plan, features)
+                self._feature_cache.move_to_end(key)
+                while len(self._feature_cache) > self.cache_size:
+                    self._feature_cache.popitem(last=False)
         return features

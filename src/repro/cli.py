@@ -9,6 +9,7 @@ Usage (module form, no installation entry point required)::
     python -m repro.cli estimate --model model.bin --queries 50
     python -m repro.cli estimate [--queries N] [--resource cpu|io|both]
     python -m repro.cli models inspect model.bin
+    python -m repro.cli serve-bench [--mode closed|open] [--out results.json]
     python -m repro.cli lint src/ tests/ [--format=github]
 
 ``run`` executes one registered experiment (or ``all`` of them) and prints
@@ -28,6 +29,12 @@ The train-once / serve-many workflow is split across three subcommands:
 * ``models inspect`` prints the format header and the
   :class:`~repro.core.serialization.ModelSizeReport` of an artifact.
 
+``serve-bench`` drives the concurrent serving layer
+(:mod:`repro.serving`) with a seeded closed- or open-loop load and
+compares coalesced throughput against the single-caller sequential
+baseline under a p99 latency budget; it exits 1 when the run records
+request errors or misses the budget, so CI can gate on it directly.
+
 ``lint`` runs the static invariant checker of :mod:`repro.lint` over the
 given paths.  Exit codes are uniform across every subcommand and flag
 (including ``--version``): **0** success/clean, **1** runtime/data errors
@@ -41,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 import time
 from pathlib import Path
@@ -65,6 +73,13 @@ from repro.features.definitions import FeatureMode
 from repro.lint.cli import add_lint_arguments, run_lint_command
 from repro.optimizer.planner import Planner
 from repro.query.tpch_templates import tpch_template_set
+from repro.serving import (
+    SCENARIO_MIXES,
+    LoadConfig,
+    ServeBenchConfig,
+    run_serve_bench,
+    standard_scenarios,
+)
 from repro.workloads.datasets import build_training_data, split_workload
 from repro.workloads.tpch import build_tpch_workload
 
@@ -203,6 +218,122 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default: {_DEFAULT_TRAIN_SEED})",
     )
     estimate_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="override the profile's MART boosting iterations (in-memory training only)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve-bench",
+        help="benchmark concurrent coalesced serving against the sequential baseline",
+    )
+    serve_parser.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="load discipline: closed-loop workers or open-loop Poisson arrivals",
+    )
+    serve_parser.add_argument(
+        "--requests",
+        type=int,
+        default=1200,
+        help="measured requests after warmup (default: 1200)",
+    )
+    serve_parser.add_argument(
+        "--warmup",
+        type=int,
+        default=100,
+        help="warmup requests excluded from the measurement (default: 100)",
+    )
+    serve_parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="closed-loop worker threads (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--qps",
+        type=float,
+        default=200.0,
+        help="open-loop offered arrival rate (default: 200)",
+    )
+    serve_parser.add_argument(
+        "--seed",
+        type=int,
+        default=17,
+        help="seed of the request trace (default: 17)",
+    )
+    serve_parser.add_argument(
+        "--scenarios",
+        choices=SCENARIO_MIXES,
+        default="tpch",
+        help="workload scenario mix (default: tpch)",
+    )
+    serve_parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=96,
+        help="planned queries per scenario pool (default: 96)",
+    )
+    serve_parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=96,
+        help="coalesced plans that close a micro-batch (default: 96, "
+        "headroom above the standard mix's heaviest burst)",
+    )
+    serve_parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="longest a micro-batch waits for more requests (default: 2.0)",
+    )
+    serve_parser.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=None,
+        help="additional absolute p99 cap in ms (exit 1 when exceeded)",
+    )
+    serve_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the structured JSON record to this path",
+    )
+    serve_parser.add_argument(
+        "--model",
+        type=Path,
+        default=None,
+        help="serve from this model artifact instead of retraining",
+    )
+    serve_parser.add_argument(
+        "--resource",
+        choices=("cpu", "io", "both"),
+        default="both",
+        help="resource(s) to serve (default: both)",
+    )
+    serve_parser.add_argument(
+        "--profile",
+        choices=("fast", "paper"),
+        default=None,
+        help="experiment profile (default: REPRO_PROFILE or 'fast')",
+    )
+    serve_parser.add_argument(
+        "--train-queries",
+        type=int,
+        default=_DEFAULT_TRAIN_QUERIES,
+        help="training-workload size when no --model is given "
+        f"(default: {_DEFAULT_TRAIN_QUERIES})",
+    )
+    serve_parser.add_argument(
+        "--train-seed",
+        type=int,
+        default=_DEFAULT_TRAIN_SEED,
+        help="training-workload seed when no --model is given "
+        f"(default: {_DEFAULT_TRAIN_SEED})",
+    )
+    serve_parser.add_argument(
         "--iterations",
         type=int,
         default=None,
@@ -415,6 +546,71 @@ def _run_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_bench(args: argparse.Namespace) -> int:
+    """Benchmark coalesced concurrent serving and gate on its SLOs."""
+    config = get_config(args.profile)
+    requested = _resources_from_arg(args.resource)
+    try:
+        load = LoadConfig(
+            mode=args.mode,
+            requests=args.requests,
+            warmup=args.warmup,
+            concurrency=args.concurrency,
+            qps=args.qps,
+            seed=args.seed,
+        )
+        bench_config = ServeBenchConfig(
+            load=load,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        service, _, source = _serving_service(args, config, requested)
+    except (EstimatorCodecError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except _UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    scenarios = standard_scenarios(args.scenarios, pool_size=args.pool_size)
+    result = run_serve_bench(service, scenarios, bench_config)
+
+    print(f"model: {source}")
+    print(result.render())
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(
+            json.dumps(result.to_record(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"record: {args.out}")
+
+    failed = False
+    if result.report.errors:
+        print(f"FAIL: {result.report.errors} request error(s)", file=sys.stderr)
+        failed = True
+    if not result.p99_within_budget:
+        print(
+            f"FAIL: p99 {result.report.latency.p99_ms:.2f} ms over the "
+            f"{result.p99_budget_ms:.2f} ms budget",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.max_p99_ms is not None and result.report.latency.p99_ms > args.max_p99_ms:
+        print(
+            f"FAIL: p99 {result.report.latency.p99_ms:.2f} ms over the "
+            f"--max-p99-ms cap of {args.max_p99_ms:g} ms",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
 def _run_models_inspect(args: argparse.Namespace) -> int:
     """Print the format header and ModelSizeReport of a model artifact."""
     try:
@@ -478,7 +674,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.print_usage(sys.stderr)
         print(
             f"{parser.prog}: error: a subcommand is required "
-            "(list, run, train, estimate, models)",
+            "(list, run, train, estimate, serve-bench, models)",
             file=sys.stderr,
         )
         return 2
@@ -493,6 +689,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "estimate":
         return _run_estimate(args)
+
+    if args.command == "serve-bench":
+        return _run_serve_bench(args)
 
     if args.command == "lint":
         return run_lint_command(args)

@@ -1,0 +1,57 @@
+"""Concurrent serving: micro-batch coalescing + closed/open-loop load harness.
+
+This package turns the single-caller :class:`~repro.api.EstimationService`
+facade into a real serving layer and proves it under load:
+
+* :mod:`repro.serving.coalescer` —
+  :class:`~repro.serving.coalescer.ConcurrentEstimationService` coalesces
+  concurrent ``estimate_workload``/``estimate_query`` calls into
+  micro-batches on the vectorised estimation path and demultiplexes the
+  batched results back through per-request futures, bit-identical to
+  direct calls;
+* :mod:`repro.serving.scenarios` — weighted request scenarios over the
+  TPC-H/TPC-DS template sweeps;
+* :mod:`repro.serving.loadgen` — seeded closed/open-loop load generation
+  with warmup/measure phases and a structured
+  :class:`~repro.serving.loadgen.LoadReport`;
+* :mod:`repro.serving.bench` — the ``repro serve-bench`` harness comparing
+  coalesced throughput against the single-caller sequential baseline under
+  a p99 latency budget.
+"""
+
+from repro.serving.bench import ServeBenchConfig, ServeBenchResult, run_serve_bench
+from repro.serving.coalescer import CoalescingStats, ConcurrentEstimationService
+from repro.serving.loadgen import (
+    LatencySummary,
+    LoadConfig,
+    LoadReport,
+    RequestSpec,
+    build_trace,
+    run_load,
+)
+from repro.serving.scenarios import (
+    SCENARIO_MIXES,
+    Scenario,
+    standard_scenarios,
+    tpcds_plan_pool,
+    tpch_plan_pool,
+)
+
+__all__ = [
+    "CoalescingStats",
+    "ConcurrentEstimationService",
+    "LatencySummary",
+    "LoadConfig",
+    "LoadReport",
+    "RequestSpec",
+    "build_trace",
+    "run_load",
+    "Scenario",
+    "SCENARIO_MIXES",
+    "standard_scenarios",
+    "tpch_plan_pool",
+    "tpcds_plan_pool",
+    "ServeBenchConfig",
+    "ServeBenchResult",
+    "run_serve_bench",
+]

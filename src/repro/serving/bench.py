@@ -1,0 +1,198 @@
+"""The serve-bench harness: sequential baseline vs coalesced concurrent serving.
+
+One entry point, :func:`run_serve_bench`, is shared by the ``repro
+serve-bench`` CLI subcommand, the CI smoke step and the opt-in
+``benchmarks/test_serve_load.py`` reproduction, so every consumer measures
+and reports the same way:
+
+1. **warmup** — the warmup slice of the seeded trace is served once
+   sequentially, so both sides start from a warm feature cache and compiled
+   kernels;
+2. **sequential baseline** — the measured trace is replayed one request at
+   a time directly against the :class:`~repro.api.EstimationService`
+   (no coalescing, no concurrency): the single-caller request rate the
+   serving layer must beat;
+3. **single-batch service time** — the worst of quiet direct probes of one
+   ``max_batch_size``-plan batch (max-of-5, on both sides of the loaded
+   window) and the worst batch the coalescer actually served: together
+   with ``max_wait_ms`` this bounds the worst-case latency a coalesced
+   request should see (the report's ``p99_budget_ms``);
+4. **coalesced run** — the same seeded trace drives the micro-batch
+   coalescing front under the configured closed/open-loop discipline
+   (:func:`~repro.serving.loadgen.run_load`).
+
+The returned :class:`ServeBenchResult` carries the full
+:class:`~repro.serving.loadgen.LoadReport` plus the baseline comparison
+(`throughput_ratio`, SLO pass/fail) as one JSON-ready record.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.api.service import EstimationService
+from repro.serving.coalescer import ConcurrentEstimationService
+from repro.serving.loadgen import LoadConfig, LoadReport, build_trace, run_load
+from repro.serving.scenarios import Scenario
+
+__all__ = ["ServeBenchConfig", "ServeBenchResult", "run_serve_bench"]
+
+
+@dataclass(frozen=True)
+class ServeBenchConfig:
+    """Knobs of one serve-bench run (load discipline + coalescer shape)."""
+
+    #: Default batch budget leaves headroom above the heaviest standard-mix
+    #: burst (8 closed-loop callers x 8 plans = 64), so the budget probe —
+    #: one full ``max_batch_size``-plan batch — strictly upper-bounds any
+    #: batch the run actually serves.
+    load: LoadConfig = LoadConfig()
+    max_batch_size: int = 96
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0.0:
+            raise ValueError("max_wait_ms must be >= 0")
+
+
+@dataclass(frozen=True)
+class ServeBenchResult:
+    """A coalesced load run next to its single-caller sequential baseline."""
+
+    report: LoadReport
+    #: Single-threaded direct request rate on the identical measured trace.
+    sequential_rps: float
+    #: Coalesced sustained throughput / sequential baseline.
+    throughput_ratio: float
+    #: Worst single-batch service time: quiet max-of-5 direct probes on
+    #: both sides of the loaded window, and the worst served batch.
+    single_batch_ms: float
+    #: Latency budget: ``max_wait_ms`` + one batch service time.
+    p99_budget_ms: float
+    max_batch_size: int
+    max_wait_ms: float
+
+    @property
+    def p99_within_budget(self) -> bool:
+        return self.report.latency.p99_ms <= self.p99_budget_ms
+
+    def to_record(self) -> dict[str, object]:
+        record = self.report.to_record()
+        record.update(
+            {
+                "max_batch_size": self.max_batch_size,
+                "max_wait_ms": round(self.max_wait_ms, 3),
+                "sequential_rps": round(self.sequential_rps, 2),
+                "throughput_ratio": round(self.throughput_ratio, 2),
+                "single_batch_ms": round(self.single_batch_ms, 3),
+                "p99_budget_ms": round(self.p99_budget_ms, 3),
+                "p99_within_budget": self.p99_within_budget,
+            }
+        )
+        return record
+
+    def render(self) -> str:
+        budget = "within" if self.p99_within_budget else "OVER"
+        return "\n".join(
+            [
+                self.report.render(),
+                f"coalescer: max_batch_size={self.max_batch_size} plans, "
+                f"max_wait_ms={self.max_wait_ms:g}",
+                f"sequential baseline: {self.sequential_rps:,.0f} req/s "
+                f"-> coalesced {self.report.throughput_rps:,.0f} req/s "
+                f"({self.throughput_ratio:.1f}x)",
+                f"p99 {self.report.latency.p99_ms:.2f} ms is {budget} the "
+                f"{self.p99_budget_ms:.2f} ms budget "
+                f"(max_wait {self.max_wait_ms:g} ms + single batch "
+                f"{self.single_batch_ms:.2f} ms)",
+            ]
+        )
+
+
+def run_serve_bench(
+    service: EstimationService,
+    scenarios: Sequence[Scenario],
+    config: ServeBenchConfig,
+) -> ServeBenchResult:
+    """Measure sequential and coalesced serving on the same seeded trace."""
+    by_name = {scenario.name: scenario for scenario in scenarios}
+    trace = build_trace(scenarios, config.load)
+
+    # Warm caches and compiled kernels once, outside every measurement.
+    for spec in trace:
+        if spec.warmup:
+            scenario = by_name[spec.scenario]
+            plans = [scenario.plans[i] for i in spec.plan_indices]
+            service.estimate_workload(plans, scenario.resources)
+
+    # Sequential baseline: the measured trace, one direct call at a time.
+    measured_specs = [spec for spec in trace if not spec.warmup]
+    sequential_started = time.perf_counter()
+    for spec in measured_specs:
+        scenario = by_name[spec.scenario]
+        plans = [scenario.plans[i] for i in spec.plan_indices]
+        service.estimate_workload(plans, scenario.resources)
+    sequential_seconds = max(time.perf_counter() - sequential_started, 1e-9)
+    sequential_rps = len(measured_specs) / sequential_seconds
+
+    single_batch_before_ms = _measure_single_batch_ms(
+        service, scenarios, config.max_batch_size
+    )
+
+    with ConcurrentEstimationService(
+        service,
+        max_batch_size=config.max_batch_size,
+        max_wait_ms=config.max_wait_ms,
+    ) as server:
+        report = run_load(server, scenarios, config.load)
+        served_max_ms = server.coalescing_stats().max_service_ms
+
+    # Single-batch service time = the worst of (a) quiet direct probes on
+    # both sides of the loaded window and (b) the worst batch the coalescer
+    # actually served.  Quiet probes alone under-sample the GIL/scheduler
+    # contention a loaded batch runs under, which would make the latency
+    # budget spuriously tight; the served maximum keeps the budget honest
+    # while the p99 check still verifies the real SLO contract — that queue
+    # wait stays bounded by ``max_wait_ms`` (it fails under overload, when
+    # requests pile up behind in-flight batches).
+    single_batch_ms = max(
+        single_batch_before_ms,
+        _measure_single_batch_ms(service, scenarios, config.max_batch_size),
+        served_max_ms,
+    )
+
+    return ServeBenchResult(
+        report=report,
+        sequential_rps=sequential_rps,
+        throughput_ratio=report.throughput_rps / max(sequential_rps, 1e-9),
+        single_batch_ms=single_batch_ms,
+        p99_budget_ms=config.max_wait_ms + single_batch_ms,
+        max_batch_size=config.max_batch_size,
+        max_wait_ms=config.max_wait_ms,
+    )
+
+
+def _measure_single_batch_ms(
+    service: EstimationService,
+    scenarios: Sequence[Scenario],
+    max_batch_size: int,
+    rounds: int = 5,
+) -> float:
+    """Direct service time of one full micro-batch (max over ``rounds``).
+
+    Taking the max (not min) makes the derived ``p99_budget_ms`` an honest
+    upper bound for what a coalesced batch costs, including scheduler noise.
+    """
+    pool = [plan for scenario in scenarios for plan in scenario.plans]
+    batch = [pool[i % len(pool)] for i in range(max_batch_size)]
+    worst = 0.0
+    for _ in range(rounds):
+        started = time.perf_counter()
+        service.estimate_workload(batch)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        worst = max(worst, elapsed_ms)
+    return worst

@@ -1,0 +1,125 @@
+"""Weighted serving scenarios over the benchmark template sweeps.
+
+A :class:`Scenario` names one kind of request traffic: a pool of planned
+queries (a TPC-H or TPC-DS template sweep), how many plans one request
+carries, which resources it asks for, and a relative weight in the overall
+mix.  The load generator (:mod:`repro.serving.loadgen`) draws requests from
+a weighted mix of scenarios with a seeded generator, in the shape of the
+weighted-template / queries-per-second workload-generator exemplars the
+ROADMAP points at.
+
+Plan pools are planned once up front — the load harness measures the
+*serving* layer, so planning stays out of the request path (exactly like a
+plan-handle cache in front of a real optimiser).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.statistics import StatisticsCatalog
+from repro.catalog.tpcds import build_tpcds_catalog
+from repro.catalog.tpch import build_tpch_catalog
+from repro.optimizer.planner import Planner
+from repro.plan.plan import QueryPlan
+from repro.query.tpcds_templates import tpcds_template_set
+from repro.query.tpch_templates import tpch_template_set
+
+__all__ = [
+    "Scenario",
+    "tpch_plan_pool",
+    "tpcds_plan_pool",
+    "standard_scenarios",
+    "SCENARIO_MIXES",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One weighted request pattern in a serving workload mix."""
+
+    name: str
+    #: Relative frequency in the mix (normalised across scenarios).
+    weight: float
+    #: Pre-planned query pool requests draw from (with replacement).
+    plans: tuple[QueryPlan, ...] = field(repr=False)
+    #: Plans per request (1 = interactive what-if call, >1 = batched caller).
+    plans_per_request: int = 1
+    #: Resources each request asks for; ``None`` means every served resource.
+    resources: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        if self.weight <= 0.0:
+            raise ValueError(f"scenario {self.name!r}: weight must be > 0")
+        if not self.plans:
+            raise ValueError(f"scenario {self.name!r}: plan pool is empty")
+        if self.plans_per_request < 1:
+            raise ValueError(f"scenario {self.name!r}: plans_per_request must be >= 1")
+
+
+def tpch_plan_pool(
+    n_queries: int = 96,
+    seed: int = 101,
+    scale_factor: float = 0.1,
+    skew_z: float = 1.0,
+) -> tuple[QueryPlan, ...]:
+    """A planned TPC-H template sweep to draw serving requests from."""
+    catalog = build_tpch_catalog(scale_factor=scale_factor, skew_z=skew_z)
+    planner = Planner(catalog, StatisticsCatalog(catalog))
+    queries = tpch_template_set().generate(catalog, n_queries, seed=seed)
+    return tuple(planner.plan(query) for query in queries)
+
+
+def tpcds_plan_pool(
+    n_queries: int = 96,
+    seed: int = 103,
+    scale_factor: float = 0.1,
+    skew_z: float = 0.8,
+) -> tuple[QueryPlan, ...]:
+    """A planned TPC-DS template sweep (the cross-schema traffic source)."""
+    catalog = build_tpcds_catalog(scale_factor=scale_factor, skew_z=skew_z)
+    planner = Planner(catalog, StatisticsCatalog(catalog))
+    queries = tpcds_template_set().generate(catalog, n_queries, seed=seed)
+    return tuple(planner.plan(query) for query in queries)
+
+
+#: Named mixes ``standard_scenarios`` can build; ``tpch`` is the default
+#: (in-distribution traffic only), ``mixed`` adds cross-schema TPC-DS
+#: requests, which typically serve OOD-flagged but still bounded estimates.
+SCENARIO_MIXES: tuple[str, ...] = ("tpch", "mixed")
+
+
+def standard_scenarios(
+    mix: str = "tpch",
+    pool_size: int = 96,
+    seed: int = 101,
+    scale_factor: float = 0.1,
+) -> tuple[Scenario, ...]:
+    """The stock scenario mixes used by ``repro serve-bench`` and CI smoke.
+
+    ``tpch``: 70% interactive single-plan requests and 30% batched 8-plan
+    requests (an admission-control caller costing a queue at once), both
+    over one TPC-H sweep.  ``mixed`` splits the same shape across TPC-H and
+    TPC-DS pools to exercise heterogeneous concurrent traffic.
+    """
+    if mix not in SCENARIO_MIXES:
+        raise ValueError(f"unknown scenario mix {mix!r}; known: {SCENARIO_MIXES}")
+    tpch_pool = tpch_plan_pool(
+        n_queries=pool_size, seed=seed, scale_factor=scale_factor
+    )
+    if mix == "tpch":
+        return (
+            Scenario("tpch-interactive", 0.7, tpch_pool, plans_per_request=1),
+            Scenario("tpch-batch8", 0.3, tpch_pool, plans_per_request=8),
+        )
+    tpcds_pool = tpcds_plan_pool(
+        n_queries=pool_size, seed=seed + 2, scale_factor=scale_factor
+    )
+    return (
+        Scenario("tpch-interactive", 0.45, tpch_pool, plans_per_request=1),
+        Scenario("tpch-batch8", 0.15, tpch_pool, plans_per_request=8),
+        Scenario("tpcds-interactive", 0.3, tpcds_pool, plans_per_request=1),
+        Scenario("tpcds-batch4", 0.1, tpcds_pool, plans_per_request=4),
+    )
