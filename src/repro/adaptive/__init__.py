@@ -1,0 +1,87 @@
+"""Adaptive serving: observe, detect drift, refit in background, hot-swap.
+
+The paper trains once and argues the models stay accurate as workloads
+shift; this package closes the remaining loop so the reproduction *keeps*
+its accuracy bands when the traffic drifts away from the training
+distribution:
+
+* :mod:`repro.adaptive.observation` — :class:`ObservationLog`, a bounded
+  tap on the serving session that joins every prediction with the engine's
+  simulated-actual counters (append-only JSONL spill, ring-buffer memory);
+* :mod:`repro.adaptive.drift` — :class:`DriftMonitor`, rolling
+  per-(family, resource) error windows with threshold-plus-hysteresis
+  :class:`DriftEvent` tripping;
+* :mod:`repro.adaptive.registry` — :class:`ModelRegistry`, immutable
+  versioned artifacts over the existing codec with manifests (checksum,
+  corpus fingerprint, train metrics) and a promote/reject event log;
+* :mod:`repro.adaptive.controller` — :class:`RetrainController` /
+  :class:`AdaptiveLoop`, drift-triggered background refit, holdout
+  validation, registration and canary-checked hot-swap with exponential
+  backoff on failed promotions;
+* :mod:`repro.adaptive.bench` — the ``repro adapt-bench`` drifting-mix
+  scenario (TPC-H → TPC-DS) recording pre-drift / drifted / post-swap
+  error.
+
+Exports resolve lazily (PEP 562, same pattern as :mod:`repro.robustness`):
+the bench submodule pulls in catalogs and planners that light ``import
+repro.adaptive`` users should not pay for.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.adaptive.bench import run_adapt_bench
+    from repro.adaptive.controller import (
+        AdaptiveLoop,
+        RetrainConfig,
+        RetrainController,
+        RetrainOutcome,
+    )
+    from repro.adaptive.drift import DriftConfig, DriftEvent, DriftMonitor, WindowMetrics
+    from repro.adaptive.observation import Observation, ObservationLog
+    from repro.adaptive.registry import (
+        ModelManifest,
+        ModelRegistry,
+        RegistryError,
+        corpus_fingerprint,
+        manifest_for_artifact,
+    )
+
+_EXPORTS: dict[str, str] = {
+    "Observation": "observation",
+    "ObservationLog": "observation",
+    "DriftConfig": "drift",
+    "DriftEvent": "drift",
+    "DriftMonitor": "drift",
+    "WindowMetrics": "drift",
+    "ModelManifest": "registry",
+    "ModelRegistry": "registry",
+    "RegistryError": "registry",
+    "corpus_fingerprint": "registry",
+    "manifest_for_artifact": "registry",
+    "AdaptiveLoop": "controller",
+    "RetrainConfig": "controller",
+    "RetrainController": "controller",
+    "RetrainOutcome": "controller",
+    "run_adapt_bench": "bench",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    module = import_module(f"{__name__}.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,320 @@
+"""The ``repro adapt-bench`` scenario: drive a drifting mix through the loop.
+
+The scenario reproduces the adaptive-loop story end to end, deterministic
+in its seed:
+
+1. train an incumbent on a TPC-H workload, register and promote it as
+   ``v0001``, and serve it from its registry artifact behind a coalescing
+   :class:`~repro.serving.ConcurrentEstimationService`;
+2. **pre-drift** phase: serve in-distribution TPC-H traffic — rolling error
+   sits well inside the calibrated band;
+3. **drift** phase: shift the traffic to a TPC-DS pool (cross-schema, the
+   paper's hardest generalisation case).  The rolling median relative
+   error climbs past the trip threshold, the
+   :class:`~repro.adaptive.drift.DriftMonitor` fires, and the
+   :class:`~repro.adaptive.controller.RetrainController` refits in the
+   background from the observation log while serving continues
+   uninterrupted;
+4. **post-swap** phase: keep serving the shifted traffic — the promoted
+   refit model (``v0002``) brings the rolling error back inside the
+   pre-drift band.
+
+Every request is accounted: the record proves zero dropped/failed requests
+across the background retrain and the hot-swap.  The resulting record is
+written to ``benchmarks/results/adaptive_loop.json`` by the benchmark
+suite and asserted by the CI ``adaptive-loop-smoke`` step.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import tempfile
+from pathlib import Path
+from statistics import median
+from typing import Sequence
+
+from repro.adaptive.controller import AdaptiveLoop, RetrainConfig
+from repro.adaptive.drift import DriftConfig
+from repro.adaptive.observation import Observation
+from repro.adaptive.registry import ModelRegistry, corpus_fingerprint
+from repro.api.protocol import TrainingCorpus
+from repro.api.registry import make_estimator
+from repro.api.service import EstimationService
+from repro.catalog.tpcds import build_tpcds_catalog
+from repro.catalog.tpch import build_tpch_catalog
+from repro.catalog.statistics import StatisticsCatalog
+from repro.core.estimator import ResourceEstimator
+from repro.core.trainer import TrainerConfig
+from repro.data.rng import make_rng
+from repro.engine.executor import QueryExecutor
+from repro.features.definitions import FeatureMode
+from repro.ml.mart import MARTConfig
+from repro.optimizer.planner import Planner
+from repro.plan.plan import QueryPlan
+from repro.query.tpcds_templates import tpcds_template_set
+from repro.query.tpch_templates import tpch_template_set
+from repro.serving.coalescer import ConcurrentEstimationService
+from repro.workloads.tpch import build_tpch_workload
+
+__all__ = ["run_adapt_bench"]
+
+_LOGGER = logging.getLogger("repro.adaptive.bench")
+
+#: Catalog scale/skew shared by training and serving pools.
+_SCALE = 0.05
+_TPCH_SKEW = 1.0
+_TPCDS_SKEW = 0.8
+
+#: Requests submitted per coalescing burst (exercises multi-request batches).
+_BURST = 4
+
+
+def run_adapt_bench(
+    out_path: str | Path | None = None,
+    registry_root: str | Path | None = None,
+    train_queries: int = 96,
+    iterations: int = 30,
+    pool_size: int = 32,
+    pre_requests: int = 96,
+    drift_requests: int = 192,
+    post_requests: int = 96,
+    seed: int = 29,
+    trip_threshold: float = 0.25,
+    max_batch_size: int = 16,
+    max_wait_ms: float = 0.5,
+    resources: Sequence[str] = ("cpu", "io"),
+) -> dict[str, object]:
+    """Run the TPC-H → TPC-DS drifting-mix scenario; return the record."""
+    resources = tuple(resources)
+    clear_threshold = trip_threshold / 2.0
+    # -- train + register the incumbent ----------------------------------------------------------
+    trainer_config = TrainerConfig(
+        mart=MARTConfig(n_iterations=iterations, max_leaves=8, learning_rate=0.15),
+        min_training_rows=10,
+        max_pair_models=1,
+    )
+    train_workload = build_tpch_workload(
+        scale_factor=_SCALE, skew_z=_TPCH_SKEW, n_queries=train_queries, seed=seed
+    )
+    corpus = TrainingCorpus.from_workload(
+        train_workload, FeatureMode.EXACT, resources
+    )
+    incumbent = make_estimator("scaling", trainer_config=trainer_config)
+    assert isinstance(incumbent, ResourceEstimator)
+    incumbent.fit(corpus)
+
+    cleanup: tempfile.TemporaryDirectory[str] | None = None
+    if registry_root is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-adapt-registry-")
+        registry_root = cleanup.name
+    registry = ModelRegistry(registry_root)
+    seed_manifest = registry.register(
+        incumbent, corpus=corpus_fingerprint(corpus), note="initial TPC-H model"
+    )
+    registry.promote(seed_manifest.version)
+
+    # Serve the *registered artifact* (codec round-trip), not the in-memory fit.
+    service = EstimationService.from_artifact(
+        registry.artifact_path(seed_manifest.version)
+    )
+    drift_config = DriftConfig(
+        window=48,
+        min_observations=24,
+        trip_threshold=trip_threshold,
+        clear_threshold=clear_threshold,
+        cooldown=24,
+    )
+    retrain_config = RetrainConfig(
+        min_observations=64,
+        max_observations=384,
+        holdout_fraction=0.25,
+        max_holdout_error=trip_threshold,
+        seed=seed,
+    )
+    loop = AdaptiveLoop(service, registry, drift_config, retrain_config)
+
+    # -- plan pools ------------------------------------------------------------------------------
+    tpch_pool = _plan_pool("tpch", pool_size, seed + 1)
+    tpcds_pool = _plan_pool("tpcds", pool_size, seed + 2)
+    executor = QueryExecutor()
+
+    phases: dict[str, dict[str, object]] = {}
+    counters = {"requests": 0, "failed_requests": 0, "dropped_requests": 0}
+    try:
+        with ConcurrentEstimationService(
+            service, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms
+        ) as front:
+            phases["pre_drift"] = _drive_phase(
+                "pre_drift", front, loop, executor, tpch_pool,
+                pre_requests, seed, resources, counters,
+            )
+            phases["drifted"] = _drive_phase(
+                "drifted", front, loop, executor, tpcds_pool,
+                drift_requests, seed, resources, counters,
+            )
+            # Let an in-flight background refit land before the post phase.
+            loop.controller.join(timeout=300.0)
+            phases["post_swap"] = _drive_phase(
+                "post_swap", front, loop, executor, tpcds_pool,
+                post_requests, seed, resources, counters,
+            )
+            coalescing = front.coalescing_stats()
+    finally:
+        loop.close()
+
+    # -- assemble the record ---------------------------------------------------------------------
+    stats = service.stats.snapshot()
+    history = [
+        {
+            "sequence": outcome.sequence,
+            "status": outcome.status,
+            "version": outcome.version,
+            "holdout_error": dict(outcome.holdout_error),
+            "reason": outcome.reason,
+        }
+        for outcome in loop.controller.history()
+    ]
+    promoted = [h for h in history if h["status"] == "promoted"]
+    events = [
+        {
+            "sequence": event["sequence"],
+            "event": event["event"],
+            "version": event["version"],
+        }
+        for event in registry.events()
+    ]
+    pre = phases["pre_drift"]["median_relative_error"]
+    drifted = phases["drifted"]["median_relative_error"]
+    post = phases["post_swap"]["median_relative_error"]
+    assert isinstance(pre, dict) and isinstance(drifted, dict) and isinstance(post, dict)
+    checks = {
+        "drift_tripped": loop.monitor.events >= 1
+        and any(drifted[r] > trip_threshold for r in resources),
+        "retrain_promoted": len(promoted) == 1,
+        "exactly_one_swap": stats.swaps == 1 and stats.failed_swaps == 0,
+        "zero_failed_requests": counters["failed_requests"] == 0
+        and counters["dropped_requests"] == 0,
+        "post_within_pre_drift_band": all(
+            post[r] <= clear_threshold and pre[r] <= clear_threshold
+            for r in resources
+        ),
+    }
+    record: dict[str, object] = {
+        "scenario": "tpch-to-tpcds-drifting-mix",
+        "config": {
+            "train_queries": train_queries,
+            "iterations": iterations,
+            "pool_size": pool_size,
+            "pre_requests": pre_requests,
+            "drift_requests": drift_requests,
+            "post_requests": post_requests,
+            "seed": seed,
+            "trip_threshold": trip_threshold,
+            "clear_threshold": clear_threshold,
+            "max_batch_size": max_batch_size,
+            "max_wait_ms": max_wait_ms,
+            "resources": list(resources),
+        },
+        "phases": phases,
+        "retrain": history,
+        "registry": {
+            "versions": list(registry.versions()),
+            "active": registry.active,
+            "events": events,
+        },
+        "serving": {
+            "requests": counters["requests"],
+            "failed_requests": counters["failed_requests"],
+            "dropped_requests": counters["dropped_requests"],
+            "swaps": stats.swaps,
+            "failed_swaps": stats.failed_swaps,
+            "batches_served": stats.batches_served,
+            "plans_coalesced": stats.plans_coalesced,
+            "coalesced_batches": coalescing.batches,
+        },
+        "checks": checks,
+        "passed": all(checks.values()),
+    }
+    if out_path is not None:
+        out = Path(out_path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        _LOGGER.info("adaptive-loop record written to %s", out)
+    if cleanup is not None:
+        cleanup.cleanup()
+    return record
+
+
+def _plan_pool(kind: str, pool_size: int, seed: int) -> list[QueryPlan]:
+    """A planned serving pool over the bench catalogs (planning off the path)."""
+    if kind == "tpch":
+        catalog = build_tpch_catalog(scale_factor=_SCALE, skew_z=_TPCH_SKEW)
+        queries = tpch_template_set().generate(catalog, pool_size, seed=seed)
+    else:
+        catalog = build_tpcds_catalog(scale_factor=_SCALE, skew_z=_TPCDS_SKEW)
+        queries = tpcds_template_set().generate(catalog, pool_size, seed=seed)
+    planner = Planner(catalog, StatisticsCatalog(catalog))
+    return [planner.plan(query) for query in queries]
+
+
+def _drive_phase(
+    phase: str,
+    front: ConcurrentEstimationService,
+    loop: AdaptiveLoop,
+    executor: QueryExecutor,
+    pool: list[QueryPlan],
+    n_requests: int,
+    seed: int,
+    resources: tuple[str, ...],
+    counters: dict[str, int],
+) -> dict[str, object]:
+    """Serve one phase in coalescing bursts; execute + complete every plan."""
+    rng = make_rng(seed, "adapt-bench", phase)
+    observations: list[Observation] = []
+    swaps_before = loop.service.stats.snapshot().swaps
+    submitted = 0
+    while submitted < n_requests:
+        burst_plans = [
+            pool[int(rng.integers(len(pool)))]
+            for _ in range(min(_BURST, n_requests - submitted))
+        ]
+        futures = [front.submit([plan]) for plan in burst_plans]
+        submitted += len(burst_plans)
+        counters["requests"] += len(burst_plans)
+        for plan, future in zip(burst_plans, futures):
+            try:
+                future.result(timeout=60.0)
+            except Exception as exc:
+                counters["failed_requests"] += 1
+                _LOGGER.warning("%s request failed: %s", phase, exc)
+                continue
+            result = executor.execute(plan)
+            observation = loop.complete(plan, result)
+            if observation is None:
+                counters["dropped_requests"] += 1
+                _LOGGER.warning("%s observation dropped (no parked prediction)", phase)
+                continue
+            observations.append(observation)
+    errors = {
+        resource: [obs.relative_error(resource) for obs in observations]
+        for resource in resources
+    }
+    return {
+        "requests": submitted,
+        "observations": len(observations),
+        "median_relative_error": {
+            resource: float(median(values)) if values else 0.0
+            for resource, values in errors.items()
+        },
+        "band_hit_rate": {
+            resource: (
+                sum(1 for obs in observations if obs.within_band(resource))
+                / len(observations)
+                if observations
+                else 1.0
+            )
+            for resource in resources
+        },
+        "swaps_during_phase": loop.service.stats.snapshot().swaps - swaps_before,
+    }

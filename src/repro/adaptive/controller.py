@@ -1,0 +1,446 @@
+"""Background refit on drift, with validation, registration and hot-swap.
+
+The :class:`RetrainController` is the actuator of the adaptive loop.  On a
+:class:`~repro.adaptive.drift.DriftEvent` it:
+
+1. snapshots the newest completed observations from the
+   :class:`~repro.adaptive.observation.ObservationLog` and splits them into
+   a refit slice and a held-out slice with a seeded generator;
+2. refits a candidate estimator **in a background thread** through the
+   technique registry (:func:`repro.api.make_estimator`) on a
+   :class:`~repro.api.TrainingCorpus` built from the refit slice — the
+   serving path never blocks on training;
+3. registers the candidate in the :class:`~repro.adaptive.registry.ModelRegistry`
+   (immutable artifact + manifest with corpus fingerprint and holdout
+   metrics), then validates it against the held-out slice;
+4. atomically hot-swaps it into the live
+   :class:`~repro.api.EstimationService` via the existing canary-checked
+   :meth:`~repro.api.EstimationService.swap_artifact` — in-flight estimates
+   finish on the incumbent, new calls see only the candidate.
+
+Every failure path is a recorded outcome, never an exception on the serving
+path: a candidate that fails holdout validation or the swap canary is
+marked ``rejected`` in the registry, the incumbent keeps serving, and the
+controller backs off exponentially (skipping the next
+``backoff_events * 2**(failures-1)`` drift events) before trying again.
+
+:class:`AdaptiveLoop` wires the four pieces together — log, monitor,
+controller, service — behind a single ``complete(plan, result)`` call.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Callable, TYPE_CHECKING
+
+from repro.adaptive.drift import DriftConfig, DriftEvent, DriftMonitor
+from repro.adaptive.observation import Observation, ObservationLog
+from repro.adaptive.registry import ModelRegistry, corpus_fingerprint
+from repro.api.protocol import TrainingCorpus
+from repro.core.estimator import ResourceEstimator
+from repro.data.rng import make_rng
+from repro.robustness.lifecycle import ArtifactSwapError
+from repro.workloads.runner import ObservedQuery
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.api.service import EstimationService
+    from repro.engine.executor import ExecutionResult
+    from repro.plan.plan import QueryPlan
+
+__all__ = ["AdaptiveLoop", "RetrainConfig", "RetrainController", "RetrainOutcome"]
+
+_LOGGER = logging.getLogger("repro.adaptive.controller")
+
+
+@dataclass(frozen=True)
+class RetrainConfig:
+    """Knobs of one retrain controller."""
+
+    #: Completed observations required before a refit is attempted.
+    min_observations: int = 48
+    #: Newest observations the refit corpus draws from (``None`` = all retained).
+    max_observations: int | None = 512
+    #: Fraction of the snapshot held out for candidate validation.
+    holdout_fraction: float = 0.25
+    #: Candidate acceptance bound: median relative error on the held-out
+    #: slice must stay at or below this, per resource.  ``None`` disables
+    #: the validation gate (the swap canary still guards the promotion).
+    max_holdout_error: float | None = 0.25
+    #: Seed for the refit/holdout split (derived per drift event).
+    seed: int = 17
+    #: Drift events skipped after a failed promotion; doubles per
+    #: consecutive failure (exponential backoff).
+    backoff_events: int = 1
+    #: Margin forwarded to the swap canary checks.
+    canary_margin: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.min_observations < 2:
+            raise ValueError("min_observations must be >= 2")
+        if self.max_observations is not None and self.max_observations < self.min_observations:
+            raise ValueError("max_observations must be >= min_observations")
+        if not 0.0 < self.holdout_fraction < 1.0:
+            raise ValueError("holdout_fraction must be in (0, 1)")
+        if self.max_holdout_error is not None and self.max_holdout_error <= 0.0:
+            raise ValueError("max_holdout_error must be > 0 (or None)")
+        if self.backoff_events < 0:
+            raise ValueError("backoff_events must be >= 0")
+
+
+@dataclass(frozen=True)
+class RetrainOutcome:
+    """One retrain attempt, as recorded in the controller history."""
+
+    #: Log sequence of the drift event that triggered the attempt.
+    sequence: int
+    #: ``promoted`` | ``canary-rejected`` | ``validation-failed`` |
+    #: ``insufficient-data`` | ``skipped-backoff`` | ``error``.
+    status: str
+    #: Registry version of the candidate (``None`` if never registered).
+    version: str | None = None
+    #: Median relative error per resource on the held-out slice.
+    holdout_error: dict[str, float] = field(default_factory=dict)
+    reason: str = ""
+    trigger: DriftEvent | None = None
+
+    @property
+    def promoted(self) -> bool:
+        return self.status == "promoted"
+
+
+class RetrainController:
+    """Drift-triggered background refit + canary-checked promotion."""
+
+    def __init__(
+        self,
+        service: "EstimationService",
+        log: ObservationLog,
+        registry: ModelRegistry,
+        config: RetrainConfig | None = None,
+        on_promote: Callable[[RetrainOutcome], None] | None = None,
+    ) -> None:
+        self.service = service
+        self.log = log
+        self.registry = registry
+        self.config = config or RetrainConfig()
+        #: Called after every successful promotion (the loop resets its
+        #: drift monitor here); errors are logged, never propagated.
+        self.on_promote = on_promote
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._history: list[RetrainOutcome] = []
+        self._consecutive_failures = 0
+        self._backoff_remaining = 0
+
+    # -- triggering ------------------------------------------------------------------------------
+    def handle_drift(self, event: DriftEvent) -> threading.Thread | None:
+        """React to one drift event; returns the refit thread, if started.
+
+        At most one refit runs at a time — events arriving while a refit is
+        in flight are dropped (the in-flight candidate was trained on
+        almost the same window).  Events arriving during failure backoff
+        are recorded as ``skipped-backoff`` outcomes.
+        """
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                _LOGGER.info(
+                    "drift event at observation %d ignored: refit already in flight",
+                    event.sequence,
+                )
+                return None
+            if self._backoff_remaining > 0:
+                self._backoff_remaining -= 1
+                outcome = RetrainOutcome(
+                    sequence=event.sequence,
+                    status="skipped-backoff",
+                    reason=(
+                        f"backing off after {self._consecutive_failures} failed "
+                        f"promotion(s); {self._backoff_remaining} event(s) left"
+                    ),
+                    trigger=event,
+                )
+                self._history.append(outcome)
+                _LOGGER.warning("%s", outcome.reason)
+                return None
+            thread = threading.Thread(
+                target=self._run,
+                args=(event,),
+                name=f"repro-adaptive-retrain-{event.sequence}",
+                daemon=True,
+            )
+            self._thread = thread
+        thread.start()
+        return thread
+
+    def _run(self, event: DriftEvent) -> None:
+        try:
+            self.retrain_now(event)
+        except Exception as exc:  # pragma: no cover - defensive; recorded below
+            _LOGGER.error("background retrain failed unexpectedly: %s", exc)
+            with self._lock:
+                self._history.append(
+                    RetrainOutcome(
+                        sequence=event.sequence,
+                        status="error",
+                        reason=str(exc),
+                        trigger=event,
+                    )
+                )
+
+    # -- the refit itself ------------------------------------------------------------------------
+    def retrain_now(self, event: DriftEvent) -> RetrainOutcome:
+        """Synchronous refit + validate + register + swap (thread target)."""
+        config = self.config
+        queries = self.log.observed_queries(limit=config.max_observations)
+        if len(queries) < config.min_observations:
+            outcome = RetrainOutcome(
+                sequence=event.sequence,
+                status="insufficient-data",
+                reason=(
+                    f"{len(queries)} completed observation(s) < "
+                    f"min_observations={config.min_observations}"
+                ),
+                trigger=event,
+            )
+            self._finish(outcome)
+            return outcome
+        refit, holdout = self._split(queries, event.sequence)
+        incumbent = self.service.estimator
+        corpus = TrainingCorpus(
+            queries=tuple(refit),
+            mode=incumbent.feature_mode,
+            resources=incumbent.resources,
+            name=f"adaptive-refit-{event.sequence}",
+        )
+        try:
+            candidate = self._fit_candidate(corpus)
+        except (ValueError, RuntimeError) as exc:
+            outcome = RetrainOutcome(
+                sequence=event.sequence,
+                status="error",
+                reason=f"candidate fit failed: {exc}",
+                trigger=event,
+            )
+            _LOGGER.error("%s", outcome.reason)
+            self._finish(outcome, failed=True)
+            return outcome
+        holdout_error = _holdout_errors(candidate, holdout, incumbent.resources)
+        manifest = self.registry.register(
+            candidate,
+            corpus=corpus_fingerprint(corpus),
+            metrics={
+                resource: {"median_relative_error": error}
+                for resource, error in holdout_error.items()
+            },
+            parent=self.registry.active,
+            note=f"refit after {event.reason} drift on {event.resource}",
+        )
+        if config.max_holdout_error is not None:
+            worst = max(holdout_error.values(), default=0.0)
+            if worst > config.max_holdout_error:
+                reason = (
+                    f"holdout validation failed: median relative error {worst:.3f} "
+                    f"> {config.max_holdout_error:.3f}"
+                )
+                self.registry.record_rejection(manifest.version, reason)
+                outcome = RetrainOutcome(
+                    sequence=event.sequence,
+                    status="validation-failed",
+                    version=manifest.version,
+                    holdout_error=holdout_error,
+                    reason=reason,
+                    trigger=event,
+                )
+                self._finish(outcome, failed=True)
+                return outcome
+        try:
+            self.service.swap_artifact(
+                self.registry.artifact_path(manifest.version),
+                canary_margin=config.canary_margin,
+            )
+        except ArtifactSwapError as exc:
+            reason = f"canary-checked swap rejected the candidate: {exc}"
+            self.registry.record_rejection(manifest.version, reason)
+            outcome = RetrainOutcome(
+                sequence=event.sequence,
+                status="canary-rejected",
+                version=manifest.version,
+                holdout_error=holdout_error,
+                reason=reason,
+                trigger=event,
+            )
+            _LOGGER.warning("%s", reason)
+            self._finish(outcome, failed=True)
+            return outcome
+        self.registry.promote(manifest.version)
+        outcome = RetrainOutcome(
+            sequence=event.sequence,
+            status="promoted",
+            version=manifest.version,
+            holdout_error=holdout_error,
+            trigger=event,
+        )
+        _LOGGER.info(
+            "promoted refit model %s (holdout error: %s)",
+            manifest.version,
+            {k: round(v, 4) for k, v in holdout_error.items()},
+        )
+        self._finish(outcome)
+        if self.on_promote is not None:
+            try:
+                self.on_promote(outcome)
+            except Exception as exc:
+                _LOGGER.warning("on_promote callback failed: %s", exc)
+        return outcome
+
+    # -- introspection ---------------------------------------------------------------------------
+    def history(self) -> tuple[RetrainOutcome, ...]:
+        with self._lock:
+            return tuple(self._history)
+
+    @property
+    def in_flight(self) -> bool:
+        with self._lock:
+            return self._thread is not None and self._thread.is_alive()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for the current background refit to finish, if any."""
+        with self._lock:
+            thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout)
+
+    # -- seams & internals -----------------------------------------------------------------------
+    def _fit_candidate(self, corpus: TrainingCorpus) -> ResourceEstimator:
+        """Refit seam: build and fit a candidate through the technique registry.
+
+        Tests override this to inject poisoned candidates; the default
+        refits the incumbent's technique with the incumbent's trainer
+        configuration on the fresh corpus.
+        """
+        from repro.api.registry import make_estimator
+
+        incumbent = self.service.estimator
+        candidate = make_estimator(
+            "scaling", trainer_config=incumbent.trainer_config
+        )
+        assert isinstance(candidate, ResourceEstimator)
+        candidate.feature_mode = incumbent.feature_mode
+        candidate.resources = incumbent.resources
+        candidate.fit(corpus)
+        return candidate
+
+    def _split(
+        self, queries: list[ObservedQuery], sequence: int
+    ) -> tuple[list[ObservedQuery], list[ObservedQuery]]:
+        """Seeded refit/holdout split (by query, never by operator)."""
+        rng = make_rng(self.config.seed, "adaptive-retrain", sequence)
+        order = rng.permutation(len(queries))
+        n_holdout = max(1, int(round(len(queries) * self.config.holdout_fraction)))
+        n_holdout = min(n_holdout, len(queries) - 1)
+        holdout_idx = set(int(i) for i in order[:n_holdout])
+        refit = [q for i, q in enumerate(queries) if i not in holdout_idx]
+        holdout = [q for i, q in enumerate(queries) if i in holdout_idx]
+        return refit, holdout
+
+    def _finish(self, outcome: RetrainOutcome, failed: bool = False) -> None:
+        with self._lock:
+            self._history.append(outcome)
+            if failed:
+                self._consecutive_failures += 1
+                self._backoff_remaining = self.config.backoff_events * (
+                    2 ** (self._consecutive_failures - 1)
+                )
+            elif outcome.promoted:
+                self._consecutive_failures = 0
+                self._backoff_remaining = 0
+
+
+def _holdout_errors(
+    candidate: ResourceEstimator,
+    holdout: list[ObservedQuery],
+    resources: tuple[str, ...],
+) -> dict[str, float]:
+    """Median query-level relative error of ``candidate`` on held-out queries."""
+    errors: dict[str, float] = {}
+    plans = [query.plan for query in holdout]
+    for resource in resources:
+        predicted = candidate.predict_batch(plans, resource)
+        per_query = [
+            abs(float(est) - query.actual(resource)) / max(abs(float(est)), 1e-9)
+            for est, query in zip(predicted, holdout)
+        ]
+        errors[resource] = float(median(per_query)) if per_query else 0.0
+    return errors
+
+
+class AdaptiveLoop:
+    """The assembled feedback loop: observe → detect drift → refit → swap.
+
+    Attaches an :class:`~repro.adaptive.observation.ObservationLog` to the
+    service, feeds every completed observation to a
+    :class:`~repro.adaptive.drift.DriftMonitor`, and hands trip events to a
+    :class:`RetrainController`.  After a successful promotion the monitor
+    is reset (with cooldown) so the refit model fills the windows with its
+    own errors before it can be judged.
+    """
+
+    def __init__(
+        self,
+        service: "EstimationService",
+        registry: ModelRegistry,
+        drift_config: DriftConfig | None = None,
+        retrain_config: RetrainConfig | None = None,
+        log: ObservationLog | None = None,
+    ) -> None:
+        self.service = service
+        self.registry = registry
+        self.log = log if log is not None else ObservationLog()
+        self.monitor = DriftMonitor(drift_config)
+        self.controller = RetrainController(
+            service,
+            self.log,
+            registry,
+            retrain_config,
+            on_promote=self._after_promote,
+        )
+        self.log.attach(service)
+
+    def complete(self, plan: "QueryPlan", result: "ExecutionResult") -> Observation | None:
+        """Feed one plan's execution feedback through the whole loop.
+
+        Joins the feedback with the parked prediction, updates the drift
+        windows and — if the monitor trips — kicks off a background refit.
+        Returns the completed observation (``None`` if the plan was never
+        served through the observed session).
+        """
+        observation = self.log.complete(plan, result)
+        if observation is None:
+            return None
+        event = self.monitor.observe(observation)
+        if event is not None:
+            self.controller.handle_drift(event)
+        return observation
+
+    def _after_promote(self, outcome: RetrainOutcome) -> None:
+        self.monitor.reset(cooldown=True)
+        _LOGGER.info(
+            "drift monitor reset after promoting %s (cooldown %d observations)",
+            outcome.version,
+            self.monitor.config.cooldown,
+        )
+
+    def close(self) -> None:
+        """Detach from the service and wait out any in-flight refit."""
+        self.log.detach(self.service)
+        self.controller.join(timeout=60.0)
+        self.log.close()
+
+    def __enter__(self) -> "AdaptiveLoop":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,291 @@
+"""Rolling error windows and threshold-with-hysteresis drift detection.
+
+The paper's robustness claim is an *accuracy band*: estimates stay within a
+ratio of 2 of the actuals, and the L1 relative error stays small.  The
+:class:`DriftMonitor` watches exactly those two quantities over a sliding
+window of completed :class:`~repro.adaptive.observation.Observation`\\ s —
+per served resource for the trip decision, and per (operator family,
+resource) for diagnostics — and emits a :class:`DriftEvent` when either
+leaves the calibrated band:
+
+* the rolling **median relative error** rises above
+  :attr:`DriftConfig.trip_threshold`, or
+* the rolling **band hit rate** (fraction of queries with ratio error
+  <= :attr:`DriftConfig.band_ratio`) falls below
+  :attr:`DriftConfig.min_band_hit_rate`.
+
+Tripping is hysteretic: once tripped, a resource stays tripped (emitting no
+further events) until its window recovers below the lower
+:attr:`DriftConfig.clear_threshold` — so a noisy error series oscillating
+around the trip point cannot emit an event storm.  After a model swap the
+loop calls :meth:`DriftMonitor.reset`, which clears the windows and starts
+a cooldown during which no events fire while the new model fills the
+window with its own errors.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import deque
+from dataclasses import dataclass
+from statistics import median
+
+from repro.adaptive.observation import Observation
+
+__all__ = ["DriftConfig", "DriftEvent", "DriftMonitor", "WindowMetrics"]
+
+_LOGGER = logging.getLogger("repro.adaptive.drift")
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Calibrated thresholds of one drift monitor."""
+
+    #: Observations per rolling window (per resource).
+    window: int = 48
+    #: Observations required before any trip decision is made.
+    min_observations: int = 24
+    #: Rolling median relative error that trips a drift event.
+    trip_threshold: float = 0.25
+    #: Hysteresis: a tripped resource clears only below this level.
+    clear_threshold: float = 0.125
+    #: The paper's accuracy band: ratio error <= band_ratio counts as a hit.
+    band_ratio: float = 2.0
+    #: Band hit rate below which drift trips regardless of median error.
+    min_band_hit_rate: float = 0.5
+    #: Observations ignored after :meth:`DriftMonitor.reset` (post-swap warmup).
+    cooldown: int = 48
+    #: Resources watched (intersected with what each observation carries).
+    resources: tuple[str, ...] = ("cpu", "io")
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if not 1 <= self.min_observations <= self.window:
+            raise ValueError("min_observations must be in [1, window]")
+        if self.trip_threshold <= 0.0:
+            raise ValueError("trip_threshold must be > 0")
+        if not 0.0 < self.clear_threshold < self.trip_threshold:
+            raise ValueError("clear_threshold must be in (0, trip_threshold)")
+        if self.band_ratio < 1.0:
+            raise ValueError("band_ratio must be >= 1")
+        if not 0.0 <= self.min_band_hit_rate <= 1.0:
+            raise ValueError("min_band_hit_rate must be in [0, 1]")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        if not self.resources:
+            raise ValueError("a drift monitor must watch at least one resource")
+
+
+@dataclass(frozen=True)
+class WindowMetrics:
+    """Point-in-time rolling metrics of one resource window."""
+
+    resource: str
+    n: int
+    median_relative_error: float
+    band_hit_rate: float
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One threshold crossing: the rolling error left the calibrated band."""
+
+    #: Log sequence of the observation that tripped the monitor.
+    sequence: int
+    resource: str
+    median_relative_error: float
+    band_hit_rate: float
+    #: Window size the metrics were computed over.
+    n: int
+    trip_threshold: float
+    #: ``"relative-error"`` or ``"band-hit-rate"`` — which bound was crossed.
+    reason: str
+    #: Worst rolling per-(family, resource) median errors at trip time,
+    #: highest first — the diagnostic "where did the model go stale".
+    family_errors: tuple[tuple[str, float], ...] = ()
+
+    def describe(self) -> str:
+        families = ", ".join(f"{name}={err:.3f}" for name, err in self.family_errors[:3])
+        return (
+            f"drift on {self.resource} at observation {self.sequence}: "
+            f"median relative error {self.median_relative_error:.3f} "
+            f"(trip {self.trip_threshold:.3f}, band hit rate "
+            f"{self.band_hit_rate:.2f}, reason {self.reason}"
+            + (f"; worst families: {families}" if families else "")
+            + ")"
+        )
+
+
+class DriftMonitor:
+    """Sliding-window drift detector over completed observations.
+
+    Thread-safe: :meth:`observe`, :meth:`metrics` and :meth:`reset` may be
+    called from different threads (the completion path and a background
+    controller).  At most one :class:`DriftEvent` is returned per
+    :meth:`observe` call — the first resource that trips wins; others trip
+    on subsequent observations unless the loop resets first.
+    """
+
+    def __init__(self, config: DriftConfig | None = None) -> None:
+        self.config = config or DriftConfig()
+        self._lock = threading.Lock()
+        # resource -> (relative errors, band hits) rolling windows.
+        self._errors: dict[str, deque[float]] = {}
+        self._hits: dict[str, deque[bool]] = {}
+        # (family value, resource) -> per-operator relative-error window.
+        self._family_errors: dict[tuple[str, str], deque[float]] = {}
+        self._tripped: dict[str, bool] = {}
+        self._cooldown_remaining = 0
+        self._events = 0
+
+    # -- feeding ---------------------------------------------------------------------------------
+    def observe(self, observation: Observation) -> DriftEvent | None:
+        """Fold one completed observation in; return a trip event, if any."""
+        config = self.config
+        with self._lock:
+            resources = [r for r in config.resources if r in observation.predicted]
+            for resource in resources:
+                errors = self._errors.setdefault(
+                    resource, deque(maxlen=config.window)
+                )
+                hits = self._hits.setdefault(resource, deque(maxlen=config.window))
+                errors.append(observation.relative_error(resource))
+                hits.append(observation.within_band(resource, config.band_ratio))
+            self._fold_families(observation, resources)
+            if self._cooldown_remaining > 0:
+                self._cooldown_remaining -= 1
+                return None
+            for resource in resources:
+                event = self._evaluate(resource, observation.sequence)
+                if event is not None:
+                    self._events += 1
+                    _LOGGER.info("%s", event.describe())
+                    return event
+        return None
+
+    def _fold_families(
+        self, observation: Observation, resources: list[str]
+    ) -> None:
+        """Per-operator family errors (caller holds the lock)."""
+        config = self.config
+        for resource in resources:
+            predicted = observation.operator_predicted.get(resource)
+            if not predicted:
+                continue
+            for op in observation.observed.operators:
+                estimate = predicted.get(op.node_id)
+                if estimate is None:
+                    continue
+                key = (op.family.value, resource)
+                window = self._family_errors.setdefault(
+                    key, deque(maxlen=config.window)
+                )
+                window.append(
+                    abs(estimate - op.actual(resource)) / max(abs(estimate), 1e-9)
+                )
+
+    def _evaluate(self, resource: str, sequence: int) -> DriftEvent | None:
+        """Trip/clear decision for one resource (caller holds the lock)."""
+        config = self.config
+        errors = self._errors.get(resource)
+        hits = self._hits.get(resource)
+        if errors is None or hits is None or len(errors) < config.min_observations:
+            return None
+        rolling = float(median(errors))
+        hit_rate = sum(hits) / len(hits)
+        if self._tripped.get(resource, False):
+            if rolling <= config.clear_threshold and hit_rate >= config.min_band_hit_rate:
+                self._tripped[resource] = False
+                _LOGGER.info(
+                    "drift on %s cleared: median relative error %.3f <= %.3f",
+                    resource,
+                    rolling,
+                    config.clear_threshold,
+                )
+            return None
+        reason: str | None = None
+        if rolling > config.trip_threshold:
+            reason = "relative-error"
+        elif hit_rate < config.min_band_hit_rate:
+            reason = "band-hit-rate"
+        if reason is None:
+            return None
+        self._tripped[resource] = True
+        worst = sorted(
+            (
+                (family, float(median(window)))
+                for (family, res), window in self._family_errors.items()
+                if res == resource and window
+            ),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+        return DriftEvent(
+            sequence=sequence,
+            resource=resource,
+            median_relative_error=rolling,
+            band_hit_rate=hit_rate,
+            n=len(errors),
+            trip_threshold=config.trip_threshold,
+            reason=reason,
+            family_errors=tuple(worst),
+        )
+
+    # -- reading ---------------------------------------------------------------------------------
+    def metrics(self) -> dict[str, WindowMetrics]:
+        """Current rolling metrics per watched resource."""
+        with self._lock:
+            out: dict[str, WindowMetrics] = {}
+            for resource in self.config.resources:
+                errors = self._errors.get(resource)
+                hits = self._hits.get(resource)
+                if not errors or not hits:
+                    out[resource] = WindowMetrics(resource, 0, 0.0, 1.0)
+                    continue
+                out[resource] = WindowMetrics(
+                    resource=resource,
+                    n=len(errors),
+                    median_relative_error=float(median(errors)),
+                    band_hit_rate=sum(hits) / len(hits),
+                )
+            return out
+
+    def family_metrics(self) -> dict[tuple[str, str], float]:
+        """Rolling median per-operator relative error per (family, resource)."""
+        with self._lock:
+            return {
+                key: float(median(window))
+                for key, window in self._family_errors.items()
+                if window
+            }
+
+    def tripped(self, resource: str) -> bool:
+        with self._lock:
+            return self._tripped.get(resource, False)
+
+    @property
+    def any_tripped(self) -> bool:
+        with self._lock:
+            return any(self._tripped.values())
+
+    @property
+    def events(self) -> int:
+        """Drift events emitted over this monitor's lifetime."""
+        with self._lock:
+            return self._events
+
+    # -- lifecycle -------------------------------------------------------------------------------
+    def reset(self, cooldown: bool = True) -> None:
+        """Forget all windows (post-swap): the new model starts clean.
+
+        With ``cooldown=True`` the next :attr:`DriftConfig.cooldown`
+        observations are folded into the windows but cannot trip events.
+        """
+        with self._lock:
+            self._errors.clear()
+            self._hits.clear()
+            self._family_errors.clear()
+            self._tripped.clear()
+            self._cooldown_remaining = self.config.cooldown if cooldown else 0

@@ -1,0 +1,316 @@
+"""Recording (plan, prediction, simulated-actual) triples from the serving path.
+
+The adaptive loop starts with feedback: every estimate the serving session
+produces is eventually joined with the simulated execution counters the
+engine (:mod:`repro.engine.executor`) observed for the same plan.  The
+:class:`ObservationLog` is that join point:
+
+* :meth:`ObservationLog.attach` registers the log as a post-serve observer
+  on an :class:`~repro.api.EstimationService` (or, through the passthrough
+  on :class:`~repro.serving.ConcurrentEstimationService`, on a coalescing
+  front).  Every served ``(plans, estimate)`` pair parks the per-plan
+  predictions in a bounded pending map keyed by plan identity.
+* :meth:`ObservationLog.complete` takes the plan's
+  :class:`~repro.engine.executor.ExecutionResult`, joins it with the parked
+  prediction through :func:`~repro.workloads.runner.observe_execution`
+  (producing a refit-ready :class:`~repro.workloads.runner.ObservedQuery`)
+  and emits one immutable :class:`Observation`.
+
+Memory is bounded on both sides: completed observations live in a ring
+buffer (``capacity`` newest win) and the pending map evicts its oldest
+entry once ``pending_capacity`` predictions are waiting for feedback.
+Optionally every completed observation is also spilled to an append-only
+JSONL file — one ``json.dumps(..., sort_keys=True)`` object per line, no
+wall-clock fields, so a seeded run reproduces the spill byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, TYPE_CHECKING
+
+from repro.core.estimator import WorkloadEstimate
+from repro.engine.executor import ExecutionResult
+from repro.features.definitions import FeatureMode
+from repro.features.extractor import FeatureExtractor
+from repro.plan.plan import QueryPlan
+from repro.workloads.runner import ObservedQuery, observe_execution
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.api.service import EstimationService
+
+__all__ = ["Observation", "ObservationLog"]
+
+_LOGGER = logging.getLogger("repro.adaptive.observation")
+
+#: Floor keeping relative/ratio errors finite (matches ``repro.ml.metrics``).
+_EPSILON = 1e-9
+
+#: One parked prediction: the plan (kept so ``id`` stays valid), the per-
+#: resource query totals and the per-resource per-operator estimates.  Each
+#: plan identity holds a FIFO of these — the same plan object may be served
+#: several times before its first execution feedback arrives.
+_Pending = tuple[QueryPlan, dict[str, float], dict[str, dict[int, float]]]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One completed (plan, prediction, simulated-actual) triple."""
+
+    #: Monotonic completion index within the owning log (0-based).
+    sequence: int
+    query_name: str
+    template: str
+    #: Query-level predicted totals per resource.
+    predicted: dict[str, float]
+    #: Query-level simulated-actual totals per resource.
+    actual: dict[str, float]
+    #: Per-operator predictions per resource (``node_id -> estimate``).
+    operator_predicted: dict[str, dict[int, float]]
+    #: The feature-annotated execution record (refit training row source).
+    observed: ObservedQuery = field(repr=False, compare=False)
+
+    @property
+    def resources(self) -> tuple[str, ...]:
+        return tuple(sorted(self.predicted))
+
+    def relative_error(self, resource: str) -> float:
+        """``|predicted - actual| / |predicted|`` (paper normalisation)."""
+        predicted = self.predicted[resource]
+        return abs(predicted - self.actual[resource]) / max(abs(predicted), _EPSILON)
+
+    def ratio_error(self, resource: str) -> float:
+        """``max(predicted/actual, actual/predicted)`` — always >= 1."""
+        predicted = max(self.predicted[resource], _EPSILON)
+        actual = max(self.actual[resource], _EPSILON)
+        return max(predicted / actual, actual / predicted)
+
+    def within_band(self, resource: str, band: float = 2.0) -> bool:
+        """Whether this query hit the paper's accuracy band (ratio <= band)."""
+        return self.ratio_error(resource) <= band
+
+    def record(self) -> dict[str, object]:
+        """Deterministic JSON-ready form (the spill-line payload)."""
+        return {
+            "sequence": self.sequence,
+            "query": self.query_name,
+            "template": self.template,
+            "resources": {
+                resource: {
+                    "predicted": self.predicted[resource],
+                    "actual": self.actual[resource],
+                    "relative_error": self.relative_error(resource),
+                    "ratio_error": self.ratio_error(resource),
+                }
+                for resource in self.resources
+            },
+        }
+
+
+class ObservationLog:
+    """Bounded, thread-safe store of serving predictions joined with actuals.
+
+    The log is a passive tap: attaching it to a service costs one callback
+    per served workload, and nothing blocks the serving path — the join
+    with execution feedback happens in whatever thread calls
+    :meth:`complete`.  All state is guarded by one lock, so the serving
+    observer, the completion caller and a background retrain reading
+    :meth:`observed_queries` can overlap freely.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        spill_path: str | Path | None = None,
+        pending_capacity: int = 4096,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if pending_capacity < 1:
+            raise ValueError("pending_capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.pending_capacity = int(pending_capacity)
+        self.spill_path = Path(spill_path) if spill_path is not None else None
+        self._lock = threading.Lock()
+        self._pending: OrderedDict[int, list[_Pending]] = OrderedDict()
+        self._n_pending = 0
+        self._observations: deque[Observation] = deque(maxlen=self.capacity)
+        self._sequence = 0
+        self._dropped_pending = 0
+        self._unmatched_completions = 0
+        self._spill: IO[str] | None = None
+        self._exact = FeatureExtractor(FeatureMode.EXACT)
+        self._estimated = FeatureExtractor(FeatureMode.ESTIMATED)
+
+    # -- wiring ----------------------------------------------------------------------------------
+    def attach(self, service: "EstimationService") -> "ObservationLog":
+        """Start recording every estimate ``service`` serves (idempotent)."""
+        service.add_observer(self.record_prediction)
+        return self
+
+    def detach(self, service: "EstimationService") -> None:
+        """Stop recording estimates from ``service`` (idempotent)."""
+        service.remove_observer(self.record_prediction)
+
+    # -- the serving-side tap --------------------------------------------------------------------
+    def record_prediction(
+        self, plans: list[QueryPlan], estimate: WorkloadEstimate
+    ) -> None:
+        """Park the per-plan predictions of one served workload estimate.
+
+        This is the :data:`~repro.api.service.EstimationObserver` callback;
+        coalesced micro-batches arrive here as their combined plan list, so
+        each rider plan is parked individually under its own identity.
+        """
+        resources = tuple(estimate.resources)
+        with self._lock:
+            for index, plan in enumerate(plans):
+                predicted = {
+                    resource: float(estimate.query(index, resource))
+                    for resource in resources
+                }
+                operator_predicted = {
+                    resource: dict(estimate.operators(index, resource))
+                    for resource in resources
+                }
+                queue = self._pending.setdefault(id(plan), [])
+                queue.append((plan, predicted, operator_predicted))
+                self._pending.move_to_end(id(plan))
+                self._n_pending += 1
+            while self._n_pending > self.pending_capacity:
+                oldest_key = next(iter(self._pending))
+                oldest = self._pending[oldest_key]
+                oldest.pop(0)
+                if not oldest:
+                    del self._pending[oldest_key]
+                self._n_pending -= 1
+                self._dropped_pending += 1
+
+    # -- the execution-side join -----------------------------------------------------------------
+    def complete(self, plan: QueryPlan, result: ExecutionResult) -> Observation | None:
+        """Join a plan's execution feedback with its parked prediction.
+
+        Returns the completed :class:`Observation`, or ``None`` when no
+        prediction is parked for this plan (it was never served, or its
+        pending entry was evicted).
+        """
+        with self._lock:
+            queue = self._pending.get(id(plan))
+            pending: _Pending | None = None
+            if queue is not None and queue[0][0] is plan:
+                pending = queue.pop(0)
+                self._n_pending -= 1
+                if not queue:
+                    del self._pending[id(plan)]
+            if pending is None:
+                # id() reuse can only pair a *dead* plan's entry with a new
+                # object; treat it like "never predicted".
+                self._unmatched_completions += 1
+        if pending is None:
+            _LOGGER.debug(
+                "no pending prediction for plan %r; execution feedback dropped",
+                getattr(plan.query, "name", "?"),
+            )
+            return None
+        _, predicted, operator_predicted = pending
+        observed = observe_execution(plan, result, self._exact, self._estimated)
+        actual = {
+            resource: observed.actual(resource)
+            for resource in predicted
+        }
+        with self._lock:
+            observation = Observation(
+                sequence=self._sequence,
+                query_name=observed.query.name,
+                template=observed.template,
+                predicted=predicted,
+                actual=actual,
+                operator_predicted=operator_predicted,
+                observed=observed,
+            )
+            self._sequence += 1
+            self._observations.append(observation)
+            self._spill_record(observation.record())
+        return observation
+
+    # -- reading ---------------------------------------------------------------------------------
+    def snapshot(self) -> tuple[Observation, ...]:
+        """The retained observations, oldest first (consistent copy)."""
+        with self._lock:
+            return tuple(self._observations)
+
+    def observed_queries(self, limit: int | None = None) -> list[ObservedQuery]:
+        """Refit-ready execution records, oldest first (newest ``limit``)."""
+        observations = self.snapshot()
+        if limit is not None and limit >= 0:
+            observations = observations[-limit:]
+        return [observation.observed for observation in observations]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._observations)
+
+    @property
+    def sequence(self) -> int:
+        """Total observations ever completed (ring evictions included)."""
+        with self._lock:
+            return self._sequence
+
+    @property
+    def pending_count(self) -> int:
+        """Predictions currently waiting for execution feedback."""
+        with self._lock:
+            return self._n_pending
+
+    @property
+    def dropped_pending(self) -> int:
+        """Predictions evicted before feedback arrived (capacity pressure)."""
+        with self._lock:
+            return self._dropped_pending
+
+    @property
+    def unmatched_completions(self) -> int:
+        """Execution results that arrived with no parked prediction."""
+        with self._lock:
+            return self._unmatched_completions
+
+    # -- spill -----------------------------------------------------------------------------------
+    def _spill_record(self, record: dict[str, object]) -> None:
+        """Append one JSONL line (caller holds the lock)."""
+        if self.spill_path is None:
+            return
+        try:
+            if self._spill is None:
+                self.spill_path.parent.mkdir(parents=True, exist_ok=True)
+                self._spill = self.spill_path.open("a", encoding="utf-8")
+            self._spill.write(json.dumps(record, sort_keys=True) + "\n")
+            self._spill.flush()
+        except OSError as exc:
+            _LOGGER.warning(
+                "observation spill to %s failed (%s); disabling spill",
+                self.spill_path,
+                exc,
+            )
+            self.spill_path = None
+            self._spill = None
+
+    def close(self) -> None:
+        """Flush and close the spill file (idempotent)."""
+        with self._lock:
+            if self._spill is not None:
+                try:
+                    self._spill.close()
+                except OSError as exc:
+                    _LOGGER.warning("closing observation spill failed: %s", exc)
+                self._spill = None
+
+    def __enter__(self) -> "ObservationLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -39,7 +39,12 @@ from repro.api.registry import (
     register_estimator,
     standard_lineup,
 )
-from repro.api.service import EstimationService, ServiceStats, StatsSnapshot
+from repro.api.service import (
+    EstimationObserver,
+    EstimationService,
+    ServiceStats,
+    StatsSnapshot,
+)
 from repro.core.serialization import (
     ARTIFACT_MAGIC,
     EstimatorCodecError,
@@ -64,6 +69,7 @@ __all__ = [
     "make_technique",
     "register_estimator",
     "standard_lineup",
+    "EstimationObserver",
     "EstimationService",
     "ServiceStats",
     "StatsSnapshot",

@@ -32,6 +32,15 @@ threads (or the micro-batch coalescer in :mod:`repro.serving`) can share
 one service.  A concurrent :meth:`swap_artifact` is atomic with respect to
 readers — every ``estimate_workload`` call runs entirely against one
 (estimator, validator) pair, never a half-swapped mix.
+
+The session is also **observable**: :meth:`EstimationService.add_observer`
+registers a callback that sees every served ``(plans, estimate)`` pair
+after the fact.  The adaptive serving loop (:mod:`repro.adaptive`) attaches
+its :class:`~repro.adaptive.observation.ObservationLog` here, joining the
+predictions with simulated-actual execution feedback to drive drift
+detection and background refits.  Observers run outside every service
+lock and never fail the serving path — a raising observer is logged and
+dropped from the estimate's critical path, nothing more.
 """
 
 # repro: hot-path — batched estimation code; lint rules R1/R6 apply.
@@ -58,9 +67,13 @@ from repro.robustness.lifecycle import (
 )
 from repro.robustness.validation import PlanValidator, ValidationReport
 
-__all__ = ["EstimationService", "ServiceStats", "StatsSnapshot"]
+__all__ = ["EstimationObserver", "EstimationService", "ServiceStats", "StatsSnapshot"]
 
 _LOGGER = logging.getLogger("repro.api.service")
+
+#: Post-serve callback signature: ``observer(plans, estimate)`` is invoked
+#: after every successful ``estimate_workload`` call, outside all locks.
+EstimationObserver = Callable[[list[QueryPlan], WorkloadEstimate], None]
 
 #: Sliding-window size of the queue-wait reservoir (newest samples win).
 _QUEUE_WAIT_WINDOW = 4096
@@ -217,6 +230,9 @@ class EstimationService:
         # counters are updated (no nested lock orders to deadlock on).
         self._lock = threading.RLock()
         self._validator = self._build_validator()
+        # Post-serve observers (adaptive loop hooks); guarded by _lock for
+        # registration, iterated over a snapshot so callbacks run lock-free.
+        self._observers: list[EstimationObserver] = []
 
     @classmethod
     def from_artifact(
@@ -282,6 +298,7 @@ class EstimationService:
             if report is not None and not report.clean:
                 self.stats.degraded_operators += report.count
                 self.stats.ood_plans_flagged += len(report.ood_plans)
+        self._notify_observers(plans, estimate)
         return estimate
 
     def estimate_query(self, plan: QueryPlan, resource: str = "cpu") -> float:
@@ -369,6 +386,40 @@ class EstimationService:
         with self.stats.lock:
             self.stats.swaps += 1
         return previous
+
+    # -- observation hook ------------------------------------------------------------------------
+    def add_observer(self, observer: EstimationObserver) -> None:
+        """Register a post-serve callback (the adaptive-loop tap).
+
+        The callback receives every ``(plans, estimate)`` pair this session
+        serves, after stats accounting and outside all service locks.  A
+        raising observer is logged and skipped for that estimate; it is
+        never allowed to fail the serving path.
+        """
+        with self._lock:
+            if observer not in self._observers:
+                self._observers.append(observer)
+
+    def remove_observer(self, observer: EstimationObserver) -> None:
+        """Unregister a callback added by :meth:`add_observer` (idempotent)."""
+        with self._lock:
+            if observer in self._observers:
+                self._observers.remove(observer)
+
+    def _notify_observers(
+        self, plans: list[QueryPlan], estimate: WorkloadEstimate
+    ) -> None:
+        with self._lock:
+            observers = tuple(self._observers)
+        for observer in observers:
+            try:
+                observer(plans, estimate)
+            except Exception as exc:
+                _LOGGER.warning(
+                    "estimation observer %r failed (estimate already served): %s",
+                    observer,
+                    exc,
+                )
 
     # -- introspection ---------------------------------------------------------------------------
     @property

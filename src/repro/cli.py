@@ -9,7 +9,11 @@ Usage (module form, no installation entry point required)::
     python -m repro.cli estimate --model model.bin --queries 50
     python -m repro.cli estimate [--queries N] [--resource cpu|io|both]
     python -m repro.cli models inspect model.bin
+    python -m repro.cli models list --registry registry/
+    python -m repro.cli models diff --registry registry/ v0001 v0002
+    python -m repro.cli models promote --registry registry/ v0002
     python -m repro.cli serve-bench [--mode closed|open] [--out results.json]
+    python -m repro.cli adapt-bench [--out adaptive_loop.json]
     python -m repro.cli lint src/ tests/ [--format=github]
 
 ``run`` executes one registered experiment (or ``all`` of them) and prints
@@ -27,7 +31,17 @@ The train-once / serve-many workflow is split across three subcommands:
   estimator in memory first; either way a batch of freshly planned queries
   is estimated with one ``estimate_workload`` call;
 * ``models inspect`` prints the format header and the
-  :class:`~repro.core.serialization.ModelSizeReport` of an artifact.
+  :class:`~repro.core.serialization.ModelSizeReport` of an artifact — plus
+  the registry manifest (corpus fingerprint, train metrics, lineage) when
+  the artifact lives inside a :class:`~repro.adaptive.ModelRegistry`;
+* ``models list`` / ``models diff`` / ``models promote`` operate on such a
+  registry directly (``--registry``).
+
+``adapt-bench`` drives the adaptive serving loop (:mod:`repro.adaptive`)
+through a drifting TPC-H → TPC-DS mix: drift detection, background refit,
+registry promotion and canary-checked hot-swap, recording pre-drift /
+drifted / post-swap error; it exits 1 when any loop check fails, so CI can
+gate on it directly.
 
 ``serve-bench`` drives the concurrent serving layer
 (:mod:`repro.serving`) with a seeded closed- or open-loop load and
@@ -54,6 +68,7 @@ import time
 from pathlib import Path
 
 from repro import __version__
+from repro.adaptive.registry import ModelRegistry, RegistryError, manifest_for_artifact
 from repro.api.adapters import ADAPTER_MAGIC
 from repro.api.service import EstimationService
 from repro.catalog.statistics import StatisticsCatalog
@@ -341,13 +356,111 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     models_parser = subparsers.add_parser(
-        "models", help="inspect persisted model artifacts"
+        "models", help="inspect artifacts and manage model registries"
     )
     models_sub = models_parser.add_subparsers(dest="models_command")
     inspect_parser = models_sub.add_parser(
-        "inspect", help="print format header and size report of an artifact"
+        "inspect", help="print format header, size report and registry manifest"
     )
     inspect_parser.add_argument("artifact", type=Path, help="model artifact path")
+    list_parser = models_sub.add_parser(
+        "list", help="list the versions of a model registry"
+    )
+    list_parser.add_argument(
+        "--registry", type=Path, required=True, help="registry root directory"
+    )
+    diff_parser = models_sub.add_parser(
+        "diff", help="compare two registry versions (manifests + metrics)"
+    )
+    diff_parser.add_argument(
+        "--registry", type=Path, required=True, help="registry root directory"
+    )
+    diff_parser.add_argument("version_a", help="first version (e.g. v0001)")
+    diff_parser.add_argument("version_b", help="second version (e.g. v0002)")
+    promote_parser = models_sub.add_parser(
+        "promote", help="make a registered version the active model"
+    )
+    promote_parser.add_argument(
+        "--registry", type=Path, required=True, help="registry root directory"
+    )
+    promote_parser.add_argument("version", help="version to promote (e.g. v0002)")
+
+    adapt_parser = subparsers.add_parser(
+        "adapt-bench",
+        help="drive the adaptive loop through a drifting TPC-H -> TPC-DS mix",
+    )
+    adapt_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the structured JSON record to this path",
+    )
+    adapt_parser.add_argument(
+        "--registry",
+        type=Path,
+        default=None,
+        help="keep the model registry here (default: a temporary directory)",
+    )
+    adapt_parser.add_argument(
+        "--train-queries",
+        type=int,
+        default=96,
+        help="TPC-H queries executed to train the incumbent (default: 96)",
+    )
+    adapt_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=30,
+        help="MART boosting iterations for incumbent and refits (default: 30)",
+    )
+    adapt_parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=32,
+        help="planned queries per serving pool (default: 32)",
+    )
+    adapt_parser.add_argument(
+        "--pre",
+        type=int,
+        default=96,
+        help="pre-drift TPC-H requests (default: 96)",
+    )
+    adapt_parser.add_argument(
+        "--drift",
+        type=int,
+        default=192,
+        help="drifted TPC-DS requests (default: 192)",
+    )
+    adapt_parser.add_argument(
+        "--post",
+        type=int,
+        default=96,
+        help="post-swap TPC-DS requests (default: 96)",
+    )
+    adapt_parser.add_argument(
+        "--seed",
+        type=int,
+        default=29,
+        help="seed of workloads, pools and the refit split (default: 29)",
+    )
+    adapt_parser.add_argument(
+        "--trip-threshold",
+        type=float,
+        default=0.25,
+        help="rolling median relative error that trips drift (default: 0.25)",
+    )
+    adapt_parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=16,
+        help="coalesced plans that close a micro-batch (default: 16)",
+    )
+    adapt_parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=0.5,
+        help="longest a micro-batch waits for more requests (default: 0.5)",
+    )
 
     lint_parser = subparsers.add_parser(
         "lint", help="check the repo's estimation invariants (static analysis)"
@@ -611,6 +724,167 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _open_registry(path: Path) -> ModelRegistry:
+    """Open an *existing* registry; a missing directory is a data error."""
+    if not path.is_dir():
+        raise FileNotFoundError(f"model registry {path} does not exist")
+    return ModelRegistry(path)
+
+
+def _run_models_list(args: argparse.Namespace) -> int:
+    """List every version of a registry, newest last."""
+    try:
+        registry = _open_registry(args.registry)
+        versions = registry.versions()
+        active = registry.active
+        rows = [(version, registry.manifest(version)) for version in versions]
+    except (FileNotFoundError, RegistryError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not rows:
+        print(f"registry {args.registry}: no registered models")
+        return 0
+    print(f"registry {args.registry}: {len(rows)} version(s), active: {active or '-'}")
+    header = f"{'version':<8} {'status':<10} {'checksum':<14} {'corpus':<24} metrics"
+    print(header)
+    for version, manifest in rows:
+        corpus = (
+            f"{manifest.corpus.get('name', '?')} "
+            f"({manifest.corpus.get('n_queries', '?')}q)"
+        )
+        metrics = "; ".join(
+            f"{resource} " + ", ".join(f"{k}={v:.3f}" for k, v in sorted(values.items()))
+            for resource, values in sorted(manifest.metrics.items())
+        )
+        marker = "*" if version == active else " "
+        print(
+            f"{version:<7}{marker} {manifest.status:<10} "
+            f"{manifest.checksum[:12]:<14} {corpus:<24} {metrics or '-'}"
+        )
+    return 0
+
+
+def _run_models_diff(args: argparse.Namespace) -> int:
+    """Print a structured comparison of two registry versions."""
+    try:
+        registry = _open_registry(args.registry)
+        diff = registry.diff(args.version_a, args.version_b)
+    except (FileNotFoundError, RegistryError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    status = diff["status"]
+    assert isinstance(status, dict)
+    print(f"diff {args.version_a} ({status['a']}) -> {args.version_b} ({status['b']})")
+    print(f"identical artifacts: {'yes' if diff['identical_artifacts'] else 'no'}")
+    print(f"corpus changed: {'yes' if diff['corpus_changed'] else 'no'}")
+    corpus = diff["corpus"]
+    assert isinstance(corpus, dict)
+    for side in ("a", "b"):
+        fp = corpus[side]
+        print(
+            f"  {side}: {fp.get('name', '?')} — {fp.get('n_queries', '?')} queries / "
+            f"{fp.get('n_operators', '?')} operators, digest "
+            f"{str(fp.get('digest', '?'))[:12]}"
+        )
+    metrics_delta = diff["metrics_delta"]
+    metrics = diff["metrics"]
+    assert isinstance(metrics_delta, dict) and isinstance(metrics, dict)
+    for resource, deltas in sorted(metrics_delta.items()):
+        for metric, delta in sorted(deltas.items()):
+            print(f"  {resource}/{metric}: {delta:+.4f} (b - a)")
+        one_sided = (
+            set(metrics["a"].get(resource, {})) ^ set(metrics["b"].get(resource, {}))
+        )
+        for metric in sorted(one_sided):
+            side = "a" if metric in metrics["a"].get(resource, {}) else "b"
+            value = metrics[side][resource][metric]
+            print(
+                f"  {resource}/{metric}: {value:.4f} on {side} only "
+                f"({'b' if side == 'a' else 'a'} unmeasured)"
+            )
+    lineage = diff["lineage"]
+    assert isinstance(lineage, dict)
+    print(
+        f"lineage: {args.version_a} <- {lineage['a_parent'] or 'seed'}, "
+        f"{args.version_b} <- {lineage['b_parent'] or 'seed'}"
+    )
+    return 0
+
+
+def _run_models_promote(args: argparse.Namespace) -> int:
+    """Promote a registered version to active."""
+    try:
+        registry = _open_registry(args.registry)
+        previous = registry.active
+        manifest = registry.promote(args.version, note="promoted via CLI")
+    except (FileNotFoundError, RegistryError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"promoted {manifest.version} (checksum {manifest.checksum[:12]}); "
+        f"previous active: {previous or '-'}"
+    )
+    return 0
+
+
+def _run_adapt_bench(args: argparse.Namespace) -> int:
+    """Run the adaptive-loop scenario and gate on its checks."""
+    from repro.adaptive.bench import run_adapt_bench
+
+    try:
+        record = run_adapt_bench(
+            out_path=args.out,
+            registry_root=args.registry,
+            train_queries=args.train_queries,
+            iterations=args.iterations,
+            pool_size=args.pool_size,
+            pre_requests=args.pre,
+            drift_requests=args.drift,
+            post_requests=args.post,
+            seed=args.seed,
+            trip_threshold=args.trip_threshold,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    phases = record["phases"]
+    checks = record["checks"]
+    serving = record["serving"]
+    registry_state = record["registry"]
+    assert isinstance(phases, dict) and isinstance(checks, dict)
+    assert isinstance(serving, dict) and isinstance(registry_state, dict)
+    for name in ("pre_drift", "drifted", "post_swap"):
+        phase = phases[name]
+        errors = ", ".join(
+            f"{resource}={value:.3f}"
+            for resource, value in sorted(phase["median_relative_error"].items())
+        )
+        print(
+            f"{name:>9}: {phase['requests']} requests, "
+            f"median relative error {errors}, "
+            f"swaps {phase['swaps_during_phase']}"
+        )
+    print(
+        f"registry: {len(registry_state['versions'])} version(s), "
+        f"active {registry_state['active']}"
+    )
+    print(
+        f"serving: {serving['requests']} requests, "
+        f"{serving['failed_requests']} failed, {serving['dropped_requests']} dropped, "
+        f"{serving['swaps']} swap(s), {serving['failed_swaps']} failed swap(s)"
+    )
+    if args.out is not None:
+        print(f"record: {args.out}")
+    failed = False
+    for check, passed in sorted(checks.items()):
+        if not passed:
+            print(f"FAIL: check {check!r} did not hold", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
 def _run_models_inspect(args: argparse.Namespace) -> int:
     """Print the format header and ModelSizeReport of a model artifact."""
     try:
@@ -653,6 +927,24 @@ def _run_models_inspect(args: argparse.Namespace) -> int:
             "flat layout: not persisted (version < 3); trees will compile to "
             "flat arrays on first predict"
         )
+    manifest = manifest_for_artifact(args.artifact)
+    if manifest is not None:
+        print(f"registry version: {manifest.version} ({manifest.status})")
+        print(f"registry checksum: {manifest.checksum}")
+        print(
+            "corpus fingerprint: "
+            f"{manifest.corpus.get('name', '?')} — "
+            f"{manifest.corpus.get('n_queries', '?')} queries / "
+            f"{manifest.corpus.get('n_operators', '?')} operators "
+            f"({manifest.corpus.get('mode', '?')} features), digest "
+            f"{str(manifest.corpus.get('digest', '?'))[:12]}"
+        )
+        for resource, values in sorted(manifest.metrics.items()):
+            rendered = ", ".join(f"{k}={v:.4f}" for k, v in sorted(values.items()))
+            print(f"train metrics ({resource}): {rendered}")
+        print(f"lineage: refit of {manifest.parent or 'none (seed model)'}")
+        if manifest.note:
+            print(f"note: {manifest.note}")
     return 0
 
 
@@ -674,7 +966,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.print_usage(sys.stderr)
         print(
             f"{parser.prog}: error: a subcommand is required "
-            "(list, run, train, estimate, serve-bench, models)",
+            "(list, run, train, estimate, serve-bench, adapt-bench, models)",
             file=sys.stderr,
         )
         return 2
@@ -693,17 +985,28 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "serve-bench":
         return _run_serve_bench(args)
 
+    if args.command == "adapt-bench":
+        return _run_adapt_bench(args)
+
     if args.command == "lint":
         return run_lint_command(args)
 
     if args.command == "models":
-        if args.models_command != "inspect":
+        handlers = {
+            "inspect": _run_models_inspect,
+            "list": _run_models_list,
+            "diff": _run_models_diff,
+            "promote": _run_models_promote,
+        }
+        handler = handlers.get(args.models_command or "")
+        if handler is None:
             print(
-                f"{parser.prog}: error: usage: models inspect <artifact>",
+                f"{parser.prog}: error: usage: models "
+                "{inspect <artifact> | list | diff | promote} [--registry DIR]",
                 file=sys.stderr,
             )
             return 2
-        return _run_models_inspect(args)
+        return handler(args)
 
     config = get_config(args.profile)
     if args.experiment == "all":

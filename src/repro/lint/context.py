@@ -133,7 +133,7 @@ def _hot_ranges(tree: ast.Module) -> list[tuple[int, int]]:
 
 #: Path components that put a file in the seeded-RNG zone (R2).
 _RNG_ZONE_PARTS = frozenset(
-    {"workloads", "experiments", "benchmarks", "data", "serving"}
+    {"workloads", "experiments", "benchmarks", "data", "serving", "adaptive"}
 )
 #: Path components / file names in the float-equality zone (R4).
 _FLOAT_ZONE_PARTS = frozenset({"ml", "core"})

@@ -17,41 +17,80 @@ facade into a real serving layer and proves it under load:
 * :mod:`repro.serving.bench` — the ``repro serve-bench`` harness comparing
   coalesced throughput against the single-caller sequential baseline under
   a p99 latency budget.
+
+Exports resolve lazily (PEP 562, like :mod:`repro.robustness` and
+:mod:`repro.adaptive`): the bench/scenario submodules drag in catalogs and
+planners that a caller importing only the coalescer should not pay for.
+The serving-stats types every load report leans on —
+:class:`~repro.api.service.ServiceStats` and the
+:class:`~repro.api.service.StatsSnapshot` its ``snapshot()`` returns — are
+re-exported here from :mod:`repro.api.service` so serving callers get the
+full vocabulary from one import.
 """
 
-from repro.serving.bench import ServeBenchConfig, ServeBenchResult, run_serve_bench
-from repro.serving.coalescer import CoalescingStats, ConcurrentEstimationService
-from repro.serving.loadgen import (
-    LatencySummary,
-    LoadConfig,
-    LoadReport,
-    RequestSpec,
-    build_trace,
-    run_load,
-)
-from repro.serving.scenarios import (
-    SCENARIO_MIXES,
-    Scenario,
-    standard_scenarios,
-    tpcds_plan_pool,
-    tpch_plan_pool,
-)
+from __future__ import annotations
 
-__all__ = [
-    "CoalescingStats",
-    "ConcurrentEstimationService",
-    "LatencySummary",
-    "LoadConfig",
-    "LoadReport",
-    "RequestSpec",
-    "build_trace",
-    "run_load",
-    "Scenario",
-    "SCENARIO_MIXES",
-    "standard_scenarios",
-    "tpch_plan_pool",
-    "tpcds_plan_pool",
-    "ServeBenchConfig",
-    "ServeBenchResult",
-    "run_serve_bench",
-]
+from importlib import import_module
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.service import ServiceStats, StatsSnapshot
+    from repro.serving.bench import ServeBenchConfig, ServeBenchResult, run_serve_bench
+    from repro.serving.coalescer import CoalescingStats, ConcurrentEstimationService
+    from repro.serving.loadgen import (
+        LatencySummary,
+        LoadConfig,
+        LoadReport,
+        RequestSpec,
+        build_trace,
+        run_load,
+    )
+    from repro.serving.scenarios import (
+        SCENARIO_MIXES,
+        Scenario,
+        standard_scenarios,
+        tpcds_plan_pool,
+        tpch_plan_pool,
+    )
+
+#: Export name -> providing module (relative submodule name, or an absolute
+#: ``repro.``-prefixed module for cross-package re-exports).
+_EXPORTS: dict[str, str] = {
+    "CoalescingStats": "coalescer",
+    "ConcurrentEstimationService": "coalescer",
+    "LatencySummary": "loadgen",
+    "LoadConfig": "loadgen",
+    "LoadReport": "loadgen",
+    "RequestSpec": "loadgen",
+    "build_trace": "loadgen",
+    "run_load": "loadgen",
+    "Scenario": "scenarios",
+    "SCENARIO_MIXES": "scenarios",
+    "standard_scenarios": "scenarios",
+    "tpch_plan_pool": "scenarios",
+    "tpcds_plan_pool": "scenarios",
+    "ServeBenchConfig": "bench",
+    "ServeBenchResult": "bench",
+    "run_serve_bench": "bench",
+    "ServiceStats": "repro.api.service",
+    "StatsSnapshot": "repro.api.service",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    if not module_name.startswith("repro."):
+        module_name = f"{__name__}.{module_name}"
+    module = import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

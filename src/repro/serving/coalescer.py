@@ -34,7 +34,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
-from repro.api.service import EstimationService
+from repro.api.service import EstimationObserver, EstimationService
 from repro.core.estimator import WorkloadEstimate
 from repro.features.definitions import OperatorFamily, operator_family
 from repro.plan.plan import QueryPlan
@@ -223,6 +223,22 @@ class ConcurrentEstimationService:
     def estimate_query(self, plan: QueryPlan, resource: str = "cpu") -> float:
         """Query-level estimate for one plan through the coalesced path."""
         return self.estimate_workload([plan], (resource,)).query(0, resource)
+
+    # -- observation -----------------------------------------------------------------------------
+    def add_observer(self, observer: "EstimationObserver") -> None:
+        """Register a post-serve observer on the wrapped service.
+
+        Coalesced micro-batches run through the inner service's
+        ``estimate_workload``, so an observer registered here sees every
+        batch exactly once (as its combined plan list) — the adaptive
+        loop's :class:`~repro.adaptive.observation.ObservationLog` parks
+        each rider plan's prediction individually from that callback.
+        """
+        self.service.add_observer(observer)
+
+    def remove_observer(self, observer: "EstimationObserver") -> None:
+        """Unregister an observer added via :meth:`add_observer` (idempotent)."""
+        self.service.remove_observer(observer)
 
     def coalescing_stats(self) -> CoalescingStats:
         """Current coalescing counters (consistent copy)."""

@@ -22,7 +22,13 @@ from repro.plan.plan import QueryPlan
 from repro.query.spec import QuerySpec
 from repro.query.templates import TemplateSet
 
-__all__ = ["ObservedOperator", "ObservedQuery", "ObservedWorkload", "WorkloadRunner"]
+__all__ = [
+    "ObservedOperator",
+    "ObservedQuery",
+    "ObservedWorkload",
+    "WorkloadRunner",
+    "observe_execution",
+]
 
 
 @dataclass
@@ -144,27 +150,49 @@ class WorkloadRunner:
 
     # -- internals ----------------------------------------------------------------------------------
     def _observe(self, plan: QueryPlan, result: ExecutionResult) -> ObservedQuery:
-        exact = self._exact_extractor.extract_plan(plan)
-        estimated = self._estimated_extractor.extract_plan(plan)
-        operators: list[ObservedOperator] = []
-        for obs in result.observations:
-            node_id = obs.node_id
-            operators.append(
-                ObservedOperator(
-                    family=exact[node_id].family,
-                    exact_features=exact[node_id].values,
-                    estimated_features=estimated[node_id].values,
-                    actual_cpu_us=obs.actual_cpu_us,
-                    actual_logical_io=obs.actual_logical_io,
-                    pipeline=obs.pipeline,
-                    node_id=node_id,
-                )
-            )
-        return ObservedQuery(
-            query=plan.query,
-            plan=plan,
-            operators=operators,
-            total_cpu_us=result.total_cpu_us,
-            total_logical_io=result.total_logical_io,
-            optimizer_cost=plan.total_estimated_cost,
+        return observe_execution(
+            plan, result, self._exact_extractor, self._estimated_extractor
         )
+
+
+def observe_execution(
+    plan: QueryPlan,
+    result: ExecutionResult,
+    exact_extractor: FeatureExtractor | None = None,
+    estimated_extractor: FeatureExtractor | None = None,
+) -> ObservedQuery:
+    """Join a plan with its execution feedback into an :class:`ObservedQuery`.
+
+    This is the single place a ``(plan, ExecutionResult)`` pair becomes the
+    feature-annotated observation every training path consumes — the
+    :class:`WorkloadRunner` uses it for offline workloads and the adaptive
+    serving loop (:mod:`repro.adaptive`) uses it to turn live execution
+    feedback into refit-ready training rows.  Extractors default to fresh
+    ones; long-lived callers pass their own to reuse extraction state.
+    """
+    exact_extractor = exact_extractor or FeatureExtractor(FeatureMode.EXACT)
+    estimated_extractor = estimated_extractor or FeatureExtractor(FeatureMode.ESTIMATED)
+    exact = exact_extractor.extract_plan(plan)
+    estimated = estimated_extractor.extract_plan(plan)
+    operators: list[ObservedOperator] = []
+    for obs in result.observations:
+        node_id = obs.node_id
+        operators.append(
+            ObservedOperator(
+                family=exact[node_id].family,
+                exact_features=exact[node_id].values,
+                estimated_features=estimated[node_id].values,
+                actual_cpu_us=obs.actual_cpu_us,
+                actual_logical_io=obs.actual_logical_io,
+                pipeline=obs.pipeline,
+                node_id=node_id,
+            )
+        )
+    return ObservedQuery(
+        query=plan.query,
+        plan=plan,
+        operators=operators,
+        total_cpu_us=result.total_cpu_us,
+        total_logical_io=result.total_logical_io,
+        optimizer_cost=plan.total_estimated_cost,
+    )

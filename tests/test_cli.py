@@ -53,6 +53,40 @@ class TestParser:
         assert args.command == "models"
         assert args.models_command == "inspect"
 
+    def test_models_list_requires_registry(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["models", "list"])
+        assert excinfo.value.code == 2
+        assert "--registry" in capsys.readouterr().err
+
+    def test_models_diff_parses(self, tmp_path):
+        args = build_parser().parse_args(
+            ["models", "diff", "--registry", str(tmp_path), "v0001", "v0002"]
+        )
+        assert args.models_command == "diff"
+        assert args.version_a == "v0001"
+        assert args.version_b == "v0002"
+
+    def test_models_promote_parses(self, tmp_path):
+        args = build_parser().parse_args(
+            ["models", "promote", "--registry", str(tmp_path), "v0002"]
+        )
+        assert args.models_command == "promote"
+        assert args.version == "v0002"
+
+    def test_adapt_bench_parses_with_defaults(self):
+        args = build_parser().parse_args(["adapt-bench"])
+        assert args.command == "adapt-bench"
+        assert args.out is None and args.registry is None
+        assert args.pre == 96 and args.drift == 192 and args.post == 96
+        assert args.trip_threshold == pytest.approx(0.25)
+
+    def test_models_unknown_subcommand_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["models", "bogus"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             build_parser().parse_args(["--version"])
@@ -99,7 +133,9 @@ class TestMain:
 
     def test_models_without_subcommand_returns_2(self, capsys):
         assert main(["models"]) == 2
-        assert "models inspect" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "inspect" in err
+        assert "list" in err and "diff" in err and "promote" in err
 
     def test_train_rejects_unwritable_output_before_training(self, capsys, tmp_path):
         blocker = tmp_path / "not_a_dir"
@@ -257,3 +293,83 @@ class TestTrainServeWorkflow:
         out = capsys.readouterr().out
         assert "artifact models cpu only" in out
         assert "workload total (io)" not in out
+
+
+class TestModelRegistryCLI:
+    """models list / diff / promote against a real on-disk registry."""
+
+    @pytest.fixture(scope="class")
+    def registry_root(self, tmp_path_factory, trained_estimator):
+        from repro.adaptive.registry import ModelRegistry
+
+        root = tmp_path_factory.mktemp("cli_registry")
+        registry = ModelRegistry(root)
+        registry.register(
+            trained_estimator,
+            metrics={"cpu": {"holdout_median_relative_error": 0.05}},
+            note="seed",
+        )
+        registry.promote("v0001")
+        registry.register(
+            trained_estimator,
+            metrics={"cpu": {"holdout_median_relative_error": 0.03}},
+            parent="v0001",
+            note="refit",
+        )
+        return root
+
+    def test_list_marks_active_version(self, registry_root, capsys):
+        assert main(["models", "list", "--registry", str(registry_root)]) == 0
+        out = capsys.readouterr().out
+        assert "v0001" in out and "v0002" in out
+        assert "active" in out and "candidate" in out
+        # Exactly one active marker — the promoted seed version.
+        assert sum("*" in line for line in out.splitlines()) == 1
+
+    def test_list_missing_registry_exits_1(self, tmp_path, capsys):
+        assert main(
+            ["models", "list", "--registry", str(tmp_path / "nowhere")]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_diff_reports_metric_delta_and_lineage(self, registry_root, capsys):
+        assert main(
+            ["models", "diff", "--registry", str(registry_root), "v0001", "v0002"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "v0001" in out and "v0002" in out
+        assert "holdout_median_relative_error" in out
+        assert "-0.02" in out  # 0.03 - 0.05, the refit improved
+        assert "v0001" in out  # lineage: b's parent
+
+    def test_diff_unknown_version_exits_1(self, registry_root, capsys):
+        assert main(
+            ["models", "diff", "--registry", str(registry_root), "v0001", "v9999"]
+        ) == 1
+        assert "v9999" in capsys.readouterr().err
+
+    def test_promote_moves_active_pointer(self, registry_root, capsys):
+        from repro.adaptive.registry import ModelRegistry
+
+        assert main(
+            ["models", "promote", "--registry", str(registry_root), "v0002"]
+        ) == 0
+        assert "v0002" in capsys.readouterr().out
+        registry = ModelRegistry(registry_root)
+        assert registry.active == "v0002"
+        assert registry.manifest("v0001").status == "retired"
+
+    def test_promote_unknown_version_exits_1(self, registry_root, capsys):
+        assert main(
+            ["models", "promote", "--registry", str(registry_root), "v9999"]
+        ) == 1
+        assert "v9999" in capsys.readouterr().err
+
+    def test_inspect_registry_artifact_prints_manifest(self, registry_root, capsys):
+        artifact = registry_root / "v0002" / "model.bin"
+        assert main(["models", "inspect", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "registry version: v0002" in out
+        assert "registry checksum:" in out
+        assert "holdout_median_relative_error" in out
+        assert "lineage: refit of v0001" in out

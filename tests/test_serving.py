@@ -379,3 +379,118 @@ class TestServeBench:
         assert [s.name for s in tpch] == ["tpch-interactive", "tpch-batch8"]
         with pytest.raises(ValueError, match="unknown scenario mix"):
             standard_scenarios("nope")
+
+
+class TestPoisonedRetrainRollback:
+    def test_canary_rejects_poisoned_candidate_under_coalesced_fire(
+        self, trained_estimator, plans, executor, tmp_path, monkeypatch
+    ):
+        """A poisoned background-refit candidate must never reach callers.
+
+        The retrain controller fits a candidate whose artifact the
+        FaultInjector has poisoned (CRC-valid, predicts 1e200 — only the
+        swap canary can catch it) while coalesced callers hammer the
+        service.  The canary must reject the candidate, the incumbent must
+        keep serving bit-identically throughout, and the registry must
+        record the failed promotion.
+        """
+        from repro.adaptive import (
+            DriftEvent,
+            ModelRegistry,
+            ObservationLog,
+            RetrainConfig,
+            RetrainController,
+        )
+        from repro.core.serialization import load_estimator
+
+        service = EstimationService(trained_estimator)
+        direct = EstimationService(trained_estimator)
+        expected = {id(plan): direct.estimate_workload([plan]) for plan in plans}
+
+        # Feedback corpus for the refit: serve + complete every plan once.
+        log = ObservationLog(capacity=64).attach(service)
+        for plan in plans:
+            service.estimate_workload([plan])
+            assert log.complete(plan, executor.execute(plan)) is not None
+
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.register(trained_estimator, note="incumbent")
+        registry.promote("v0001")
+        controller = RetrainController(
+            service,
+            log,
+            registry,
+            # No holdout gate: only the canary stands between the poisoned
+            # candidate and the live session.
+            RetrainConfig(min_observations=16, max_holdout_error=None, seed=5),
+        )
+        injector = FaultInjector(seed=23)
+        original_fit = controller._fit_candidate
+
+        def poisoned_fit(corpus):
+            candidate = original_fit(corpus)
+            path = injector.poisoned_artifact(
+                candidate, tmp_path / "poisoned.bin", mode="huge"
+            )
+            return load_estimator(path)
+
+        monkeypatch.setattr(controller, "_fit_candidate", poisoned_fit)
+
+        event = DriftEvent(
+            sequence=len(plans),
+            resource="cpu",
+            median_relative_error=0.9,
+            band_hit_rate=0.1,
+            n=16,
+            trip_threshold=0.25,
+            reason="relative-error",
+        )
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def hammer(server: ConcurrentEstimationService) -> None:
+            i = 0
+            while not stop.is_set():
+                plan = plans[i % len(plans)]
+                try:
+                    _assert_identical(
+                        expected[id(plan)], server.estimate_workload([plan])
+                    )
+                except BaseException as exc:  # repro: noqa[REPRO-R5] collected for the assert below
+                    failures.append(exc)
+                    return
+                i += 1
+
+        with ConcurrentEstimationService(
+            service, max_batch_size=8, max_wait_ms=0.5
+        ) as server:
+            threads = [
+                threading.Thread(target=hammer, args=(server,)) for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            refit = controller.handle_drift(event)
+            assert refit is not None
+            controller.join(timeout=120.0)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+
+        assert not failures, failures
+        (outcome,) = controller.history()
+        assert outcome.status == "canary-rejected"
+        assert outcome.version == "v0002"
+        # Incumbent untouched: same object, zero successful swaps.
+        assert service.estimator is trained_estimator
+        stats = service.stats.snapshot()
+        assert stats.swaps == 0
+        assert stats.failed_swaps == 1
+        # The failed promotion is a recorded registry fact, not a deleted file.
+        assert registry.active == "v0001"
+        rejected = registry.manifest("v0002")
+        assert rejected.status == "rejected"
+        assert "canary" in rejected.note
+        assert registry.artifact_path("v0002").exists()
+        assert [e["event"] for e in registry.events()] == [
+            "register", "promote", "register", "reject",
+        ]
